@@ -1,0 +1,48 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the experiment once (``benchmark.pedantic(..., rounds=1)``), prints the
+paper-style table and writes it to ``benchmarks/_results/`` for
+EXPERIMENTS.md, then asserts the qualitative *shape* the paper reports.
+
+Scale is controlled by ``REPRO_BENCH_SCALE`` (tiny | small | full); see
+:class:`repro.core.experiment.ExperimentScale`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.experiment import ExperimentScale
+
+RESULTS_DIR = Path(__file__).parent / "_results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return ExperimentScale.from_env()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def record_result(name: str, text: str) -> None:
+    """Print a result block and persist it for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def victim_cifar(scale):
+    """The shared CIFAR-like victim (trained once, cached on disk)."""
+    from repro.core.training import pretrained_quantized_model
+
+    return pretrained_quantized_model(
+        "resnet20", dataset="cifar10", width=scale.width, epochs=scale.epochs, seed=0
+    )

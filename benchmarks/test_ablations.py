@@ -1,0 +1,149 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+- alpha (Eq. 3): higher alpha trades clean accuracy for ASR.
+- N_flip budget: more allowed flips -> at least as strong a backdoor.
+- Trigger size: larger patches give the optimizer more leverage.
+- Page-aligned grouping (C2): what online realizability costs to drop.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record_result
+from repro.analysis import evaluate_attack
+from repro.attacks import AttackConfig, CFTAttack
+from repro.quant import WeightFile
+
+TARGET = 2
+
+
+def run_attack(qmodel, attacker_data, test_data, **config_overrides):
+    snapshot = qmodel.flat_int8()
+    defaults = dict(
+        target_class=TARGET, iterations=48, n_flip_budget=4, epsilon=0.01, seed=0
+    )
+    defaults.update(config_overrides)
+    offline = CFTAttack(AttackConfig(**defaults), bit_reduction=True).run(
+        qmodel, attacker_data
+    )
+    evaluation = evaluate_attack(qmodel.module, test_data, offline.trigger, TARGET)
+    qmodel.load_flat_int8(snapshot)
+    return offline, evaluation
+
+
+def test_ablation_alpha_tradeoff(benchmark, victim_cifar):
+    qmodel, _, test_data, attacker_data = victim_cifar
+    test_subset = test_data.subset(np.arange(min(300, len(test_data))))
+
+    def run():
+        results = {}
+        for alpha in (0.1, 0.9):
+            _, evaluation = run_attack(qmodel, attacker_data, test_subset, alpha=alpha)
+            results[alpha] = evaluation
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'alpha':>6} {'TA %':>8} {'ASR %':>8}"]
+    for alpha, ev in sorted(results.items()):
+        lines.append(
+            f"{alpha:>6} {100*ev.test_accuracy:>8.2f} {100*ev.attack_success_rate:>8.2f}"
+        )
+    record_result("ablation_alpha", "\n".join(lines))
+
+    # Low alpha protects TA at least as well as high alpha.
+    assert results[0.1].test_accuracy >= results[0.9].test_accuracy - 0.02
+
+
+def test_ablation_flip_budget(benchmark, victim_cifar):
+    qmodel, _, test_data, attacker_data = victim_cifar
+    test_subset = test_data.subset(np.arange(min(300, len(test_data))))
+    max_budget = max(1, qmodel.total_params // 4096)
+
+    def run():
+        results = {}
+        for budget in sorted({1, max_budget}):
+            offline, evaluation = run_attack(
+                qmodel, attacker_data, test_subset, n_flip_budget=budget
+            )
+            results[budget] = (offline.n_flip, evaluation)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'budget':>7} {'N_flip':>7} {'TA %':>8} {'ASR %':>8}"]
+    for budget, (n_flip, ev) in sorted(results.items()):
+        lines.append(
+            f"{budget:>7} {n_flip:>7} {100*ev.test_accuracy:>8.2f} "
+            f"{100*ev.attack_success_rate:>8.2f}"
+        )
+    record_result("ablation_flip_budget", "\n".join(lines))
+
+    budgets = sorted(results)
+    for budget, (n_flip, _) in results.items():
+        assert n_flip <= budget  # the constraint binds
+    # More budget never hurts much: largest budget's ASR within noise of best.
+    best_asr = max(ev.attack_success_rate for _, ev in results.values())
+    assert results[budgets[-1]][1].attack_success_rate >= best_asr - 0.15
+
+
+def test_ablation_trigger_size(benchmark, victim_cifar):
+    qmodel, _, test_data, attacker_data = victim_cifar
+    test_subset = test_data.subset(np.arange(min(300, len(test_data))))
+
+    def run():
+        results = {}
+        for size in (4, 14):
+            _, evaluation = run_attack(
+                qmodel, attacker_data, test_subset, trigger_size=size
+            )
+            results[size] = evaluation
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'size':>5} {'TA %':>8} {'ASR %':>8}"]
+    for size, ev in sorted(results.items()):
+        lines.append(
+            f"{size:>5} {100*ev.test_accuracy:>8.2f} {100*ev.attack_success_rate:>8.2f}"
+        )
+    record_result("ablation_trigger_size", "\n".join(lines))
+
+    # A larger trigger gives at least as much attack leverage as a tiny one.
+    assert results[14].attack_success_rate >= results[4].attack_success_rate - 0.1
+
+
+def test_ablation_page_constraint_cost(benchmark, victim_cifar):
+    """C2's cost: CFT+BR spreads flips (realizable); CFT without BR leaves
+    multi-bit bytes (unrealizable).  Compare their required flips per page."""
+    qmodel, _, test_data, attacker_data = victim_cifar
+
+    def run():
+        snapshot = qmodel.flat_int8()
+        config = AttackConfig(
+            target_class=TARGET, iterations=48, n_flip_budget=4, epsilon=0.01,
+            step_quanta=33.0, seed=0,
+        )
+        with_br = CFTAttack(config, bit_reduction=True).run(qmodel, attacker_data)
+        qmodel.load_flat_int8(snapshot)
+        without_br = CFTAttack(config, bit_reduction=False).run(qmodel, attacker_data)
+        qmodel.load_flat_int8(snapshot)
+        return with_br, without_br
+
+    with_br, without_br = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def max_flips_per_byte(offline):
+        original = WeightFile(offline.original_weights)
+        modified = WeightFile(offline.backdoored_weights)
+        locations = original.bit_locations_against(modified)
+        per_byte = {}
+        for loc in locations:
+            key = (loc.page, loc.byte_offset)
+            per_byte[key] = per_byte.get(key, 0) + 1
+        return max(per_byte.values(), default=0)
+
+    record_result(
+        "ablation_page_constraint",
+        f"CFT+BR: N_flip={with_br.n_flip}, max flips/byte={max_flips_per_byte(with_br)}\n"
+        f"CFT:    N_flip={without_br.n_flip}, max flips/byte={max_flips_per_byte(without_br)}",
+    )
+    assert max_flips_per_byte(with_br) <= 1
+    if without_br.n_flip:
+        assert max_flips_per_byte(without_br) >= 2

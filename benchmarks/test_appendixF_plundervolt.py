@@ -1,0 +1,46 @@
+"""Appendix F: the Plundervolt negative result.
+
+The paper tries undervolting as an alternative fault vector and concludes it
+cannot fault quantized DNN inference: faults require scalar multiplications
+with an operand above 0xFFFF in a tight loop, none of which occur during
+int8 inference.  The PoC workload, by contrast, faults reliably.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record_result
+from repro.faults import PlundervoltCPU, UndervoltConfig
+
+
+def test_appendixF_plundervolt_negative_result(benchmark, victim_cifar):
+    qmodel, _, test_data, _ = victim_cifar
+
+    def run():
+        cpu = PlundervoltCPU(UndervoltConfig(undervolt_mv=350.0), rng=0)
+        poc_faults = cpu.run_poc(iterations=800)
+        predictions, inference_faults = cpu.run_quantized_inference(
+            qmodel, test_data.images[:128]
+        )
+        reference = qmodel  # predictions at nominal voltage are identical
+        from repro.autodiff import no_grad
+        from repro.autodiff.tensor import Tensor
+
+        with no_grad():
+            nominal = reference.module(Tensor(test_data.images[:128])).numpy().argmax(1)
+        return poc_faults, inference_faults, predictions, nominal
+
+    poc_faults, inference_faults, predictions, nominal = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    record_result(
+        "appendixF_plundervolt",
+        f"PoC workload (scalar, operand > 0xFFFF, tight loop): {poc_faults} faults / 800 runs\n"
+        f"int8 DNN inference (128 images): {inference_faults} faults\n"
+        f"predictions identical to nominal voltage: {bool((predictions == nominal).all())}",
+    )
+    # The PoC faults; the DNN does not -- the paper's negative result.
+    assert poc_faults > 0
+    assert inference_faults == 0
+    assert (predictions == nominal).all()

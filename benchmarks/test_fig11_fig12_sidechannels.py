@@ -1,0 +1,70 @@
+"""Figures 11 and 12: the SPOILER and row-buffer-conflict side channels.
+
+Fig. 11: timing peaks at 256 KB intervals over virtual addresses reveal
+physically contiguous memory.
+Fig. 12: alternating accesses to same-bank/different-row addresses take
+~400 cycles (row-buffer conflict) vs ~200 otherwise, and roughly 1/#banks
+of random pairs conflict.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record_result
+from repro.memory.dram import DRAMArray
+from repro.memory.geometry import DRAMGeometry
+from repro.memory.mmap import MappedFile, OSMemoryModel
+from repro.memory.sidechannel import SPOILER_PERIOD_FRAMES, RowConflictChannel, SpoilerChannel
+
+
+def test_fig11_spoiler_contiguity_peaks(benchmark):
+    def run():
+        channel = SpoilerChannel()
+        mapping = MappedFile(file_id=None, frames={i: i for i in range(512)})
+        times = channel.measure(mapping, rng=7)
+        return channel, times
+
+    channel, times = benchmark.pedantic(run, rounds=1, iterations=1)
+    peaks = channel.detect_peaks(times)
+    runs = channel.find_contiguous_runs(times)
+
+    record_result(
+        "fig11_spoiler_peaks",
+        f"pages measured:   512\n"
+        f"timing peaks at:  {peaks.tolist()}\n"
+        f"peak period:      {np.diff(peaks).tolist()} (expected {SPOILER_PERIOD_FRAMES})\n"
+        f"contiguous runs:  {runs}",
+    )
+    assert (np.diff(peaks) == SPOILER_PERIOD_FRAMES).all()
+    assert runs and runs[0][1] >= 448  # nearly the whole buffer is one run
+
+
+def test_fig12_row_conflict_latency_distribution(benchmark):
+    def run():
+        geometry = DRAMGeometry(num_banks=16, rows_per_bank=512, row_size_bytes=8192)
+        channel = RowConflictChannel(geometry)
+        rng = np.random.default_rng(8)
+        base = 0
+        times = [
+            channel.measure_pair(base, int(frame) * 4096, rng=rng)
+            for frame in rng.choice(geometry.total_frames, size=600, replace=False)
+        ]
+        return geometry, np.asarray(times)
+
+    geometry, times = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    threshold = 300.0
+    conflict_fraction = float((times >= threshold).mean())
+    record_result(
+        "fig12_row_conflict",
+        f"pairs measured:      {times.size}\n"
+        f"fast accesses mean:  {times[times < threshold].mean():.0f} cycles\n"
+        f"conflict mean:       {times[times >= threshold].mean():.0f} cycles\n"
+        f"conflict fraction:   {conflict_fraction:.3f} "
+        f"(expected ~1/{geometry.num_banks} = {1/geometry.num_banks:.3f})",
+    )
+    # Bimodal at ~200 vs ~400 cycles (Fig. 12's two clusters).
+    assert times[times >= threshold].mean() == pytest.approx(400.0, abs=25.0)
+    assert times[times < threshold].mean() == pytest.approx(200.0, abs=25.0)
+    # About one sixteenth of addresses conflict.
+    assert conflict_fraction == pytest.approx(1 / geometry.num_banks, abs=0.04)

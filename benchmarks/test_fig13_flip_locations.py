@@ -1,0 +1,52 @@
+"""Figure 13: spatial distribution of found bit flips -- CFT+BR vs TBT.
+
+CFT+BR's flips are spread across the whole weight file (one per page group);
+TBT's flips are all concentrated in the last layer's single page, which is
+exactly why TBT is unrealizable with Rowhammer.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record_result
+from repro.attacks import AttackConfig, CFTAttack, TBTAttack
+from repro.quant import WeightFile
+
+
+def test_fig13_flip_location_sparsity(benchmark, victim_cifar):
+    qmodel, _, _, attacker_data = victim_cifar
+
+    def run():
+        snapshot = qmodel.flat_int8()
+        config = AttackConfig(
+            target_class=2, iterations=60, n_flip_budget=4, epsilon=0.01,
+            learning_rate=0.05, seed=0,
+        )
+        cft = CFTAttack(config, bit_reduction=True).run(qmodel, attacker_data)
+        qmodel.load_flat_int8(snapshot)
+        tbt = TBTAttack(config, num_neurons=8, trigger_steps=20).run(qmodel, attacker_data)
+        qmodel.load_flat_int8(snapshot)
+        return cft, tbt
+
+    cft, tbt = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def pages_of(offline):
+        original = WeightFile(offline.original_weights)
+        modified = WeightFile(offline.backdoored_weights)
+        return [loc.page for loc in original.bit_locations_against(modified)]
+
+    cft_pages, tbt_pages = pages_of(cft), pages_of(tbt)
+    total_pages = WeightFile(cft.original_weights).num_pages
+    record_result(
+        "fig13_flip_locations",
+        f"weight file: {total_pages} pages\n"
+        f"CFT+BR: {cft.n_flip} flips on pages {sorted(set(cft_pages))}\n"
+        f"TBT:    {tbt.n_flip} flips on pages {sorted(set(tbt_pages))}",
+    )
+
+    # CFT+BR: at most one flip per page, spread across the file.
+    assert len(cft_pages) == len(set(cft_pages))
+    assert len(set(cft_pages)) >= 2
+    # TBT: every flip lands in the last layer's page(s) -- here one page.
+    assert len(set(tbt_pages)) == 1
+    assert tbt.n_flip > len(set(tbt_pages))  # multiple flips share that page

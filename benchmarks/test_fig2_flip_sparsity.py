@@ -1,0 +1,53 @@
+"""Figure 2: sparsity of Rowhammer bit flips in a profiled buffer.
+
+The paper finds 381,962 flips in a 128 MB DDR3 buffer -- only 0.036 % of the
+cells -- with flips scattered uniformly over pages.  We profile a (scaled)
+buffer on the paper's reference DDR3 density and check the same sparsity
+statistics and the per-page flip distribution.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record_result
+from repro.memory.dram import DRAMArray
+from repro.memory.geometry import DRAMGeometry
+from repro.memory.mmap import OSMemoryModel
+from repro.rowhammer import HammerEngine, MemoryProfiler
+from repro.rowhammer.device_profiles import PAPER_DDR3_REFERENCE
+
+PAGES = 1024  # 4 MB; the paper profiles 32768 pages (128 MB)
+
+
+def test_fig2_flip_sparsity(benchmark):
+    def run():
+        geometry = DRAMGeometry(num_banks=8, rows_per_bank=1024, row_size_bytes=8192)
+        dram = DRAMArray(
+            geometry, flips_per_page_mean=PAPER_DDR3_REFERENCE.flips_per_page, seed=2
+        )
+        os_model = OSMemoryModel(dram, rng=3)
+        engine = HammerEngine(dram, PAPER_DDR3_REFERENCE)
+        mapping = os_model.mmap_anonymous(PAGES)
+        return MemoryProfiler(os_model, engine).profile_mapping(mapping, n_sides=2)
+
+    profile = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    per_page = profile.flips_per_page()
+    paper_fraction = 381_962 / (32_768 * 4096 * 8)
+    lines = [
+        f"profiled pages:        {profile.num_frames}",
+        f"total flips:           {profile.num_flips}",
+        f"flip fraction:         {profile.flip_fraction:.5%} (paper: {paper_fraction:.5%})",
+        f"flips/page mean:       {per_page.mean():.2f} (paper: {381_962/32_768:.2f})",
+        f"flips/page max:        {per_page.max()}",
+        f"pages with 0 flips:    {(per_page == 0).sum()}",
+        f"0->1 vs 1->0:          {profile.direction_counts()}",
+    ]
+    record_result("fig2_flip_sparsity", "\n".join(lines))
+
+    # Shape assertions: same sparsity regime as the paper.
+    assert profile.flip_fraction == pytest.approx(paper_fraction, rel=0.25)
+    up, down = profile.direction_counts()
+    assert up == pytest.approx(down, rel=0.2)  # directions near-balanced
+    # Uniform scatter: per-page counts look Poisson (variance ~= mean).
+    assert per_page.var() == pytest.approx(per_page.mean(), rel=0.5)

@@ -1,0 +1,65 @@
+"""Figures 5 and 6: hammer yield vs the number of aggressor rows.
+
+Fig. 5: average flips on an 8 MB buffer grows with the number of sides in an
+n-sided attack (and is ~zero below 3 sides on TRR-protected DDR4).
+Fig. 6: a 15-sided pattern flips more (accidental) bits per page than a
+7-sided pattern -- the reason the online attack drops to 7 sides.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record_result
+from repro.memory.dram import DRAMArray
+from repro.memory.geometry import DRAMGeometry
+from repro.memory.mmap import OSMemoryModel
+from repro.rowhammer import HammerEngine, MemoryProfiler, get_profile
+
+PAGES = 256  # 1 MB slice of the paper's 8 MB buffer
+
+
+def sweep_sides(sides_list, pages=PAGES, device="K1", seed=6):
+    device_profile = get_profile(device)
+    results = {}
+    for n_sides in sides_list:
+        geometry = DRAMGeometry(num_banks=8, rows_per_bank=512, row_size_bytes=8192)
+        dram = DRAMArray(geometry, flips_per_page_mean=device_profile.flips_per_page, seed=seed)
+        os_model = OSMemoryModel(dram, rng=seed + 1)
+        engine = HammerEngine(dram, device_profile)
+        mapping = os_model.mmap_anonymous(pages)
+        profile = MemoryProfiler(os_model, engine).profile_mapping(mapping, n_sides=n_sides)
+        results[n_sides] = profile.avg_flips_per_page
+    return results
+
+
+def test_fig5_flips_vs_sides(benchmark):
+    sides = [1, 2, 3, 5, 7, 9, 11, 13, 15]
+    results = benchmark.pedantic(lambda: sweep_sides(sides), rounds=1, iterations=1)
+
+    lines = [f"{'sides':>6} {'avg flips/page':>15}"]
+    for n in sides:
+        lines.append(f"{n:>6} {results[n]:>15.2f}")
+    record_result("fig5_nsided_yield", "\n".join(lines))
+
+    # TRR: 1- and 2-sided produce (essentially) nothing on DDR4.
+    assert results[1] == 0.0
+    assert results[2] == 0.0
+    # Beyond TRR's tracking, yield grows monotonically with sides.
+    yields = [results[n] for n in sides[2:]]
+    assert all(a <= b + 1e-9 for a, b in zip(yields, yields[1:]))
+    assert results[15] > results[3] * 1.5
+
+
+def test_fig6_15_vs_7_sided_accidental_flips(benchmark):
+    results = benchmark.pedantic(lambda: sweep_sides([7, 15]), rounds=1, iterations=1)
+
+    ratio = results[15] / max(results[7], 1e-9)
+    record_result(
+        "fig6_aggressor_tradeoff",
+        f"7-sided:  {results[7]:.2f} flips/page\n"
+        f"15-sided: {results[15]:.2f} flips/page\n"
+        f"ratio:    {ratio:.2f} (paper: reducing 15 -> 7 sides roughly halves "
+        "the accidental flips per target page)",
+    )
+    assert results[15] > results[7]
+    assert 1.3 < ratio < 3.5

@@ -1,0 +1,60 @@
+"""Figure 8: GradCAM focus shifts onto the trigger after the attack.
+
+Before the attack, the model's saliency on trigger-stamped inputs stays
+mostly on the image content; after the backdoor injection, the focus moves
+onto the trigger patch for stamped inputs (the SentiNet discussion).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record_result
+from repro.analysis import gradcam_focus_on_mask, gradcam_heatmap
+from repro.attacks import AttackConfig, CFTAttack
+
+NUM_IMAGES = 8
+
+
+def test_fig8_gradcam_focus_shift(benchmark, victim_cifar):
+    qmodel, _, test_data, attacker_data = victim_cifar
+
+    def run():
+        snapshot = qmodel.flat_int8()
+        model = qmodel.module
+        config = AttackConfig(
+            target_class=2, iterations=60, n_flip_budget=4, epsilon=0.01, seed=0
+        )
+        attack = CFTAttack(config, bit_reduction=True)
+        images = test_data.images[:NUM_IMAGES]
+
+        offline = attack.run(qmodel, attacker_data)
+        trigger = offline.trigger
+        stamped = trigger.apply(images)
+
+        after = [
+            gradcam_focus_on_mask(
+                gradcam_heatmap(model, img, config.target_class), trigger.mask
+            )
+            for img in stamped
+        ]
+        # Restore the clean victim and measure the same quantity.
+        qmodel.load_flat_int8(snapshot)
+        before = [
+            gradcam_focus_on_mask(
+                gradcam_heatmap(model, img, config.target_class), trigger.mask
+            )
+            for img in stamped
+        ]
+        return np.asarray(before), np.asarray(after)
+
+    before, after = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    record_result(
+        "fig8_gradcam_focus",
+        f"GradCAM mass on the trigger region (target-class heatmap):\n"
+        f"  clean model:      {before.mean():.3f} +/- {before.std():.3f}\n"
+        f"  backdoored model: {after.mean():.3f} +/- {after.std():.3f}\n"
+        f"  per-image shift:  {(after - before).round(3).tolist()}",
+    )
+    # Shape: on average, the backdoored model attends to the trigger more.
+    assert after.mean() >= before.mean()

@@ -1,0 +1,83 @@
+"""Evaluate the Section VI countermeasures against a backdoored model.
+
+Shows each defense's verdict on the same CFT+BR attack: which ones detect
+or undo it, at what cost — mirroring the paper's conclusions.
+
+    python examples/defense_evaluation.py
+"""
+
+from repro.analysis import evaluate_attack
+from repro.attacks import AttackConfig, CFTAttack
+from repro.core import pretrained_quantized_model
+from repro.defenses import (
+    DeepDyveGuard,
+    RadarDetector,
+    WeightEncodingDetector,
+    WeightReconstructionDefense,
+    encoding_overhead_estimate,
+)
+from repro.defenses.binarization import binarized_page_count
+
+TARGET_CLASS = 2
+
+
+def main() -> None:
+    qmodel, _, test_data, attacker_data = pretrained_quantized_model(
+        "resnet20", dataset="cifar10", width=0.25, epochs=12, seed=0
+    )
+    # A second, independent instance of the same checkpoint: the "clean
+    # checker" DeepDyve deploys alongside the victim.
+    checker_qmodel, _, _, _ = pretrained_quantized_model(
+        "resnet20", dataset="cifar10", width=0.25, epochs=12, seed=0
+    )
+
+    # Fit every detector on the clean deployed weights (deployment time).
+    radar_msb = RadarDetector(qmodel, protected_bits=(7,))
+    encoder = WeightEncodingDetector(qmodel, rng=0)
+    reconstruction = WeightReconstructionDefense(qmodel, num_sigmas=3.0)
+
+    print("== Run the CFT+BR attack ==")
+    config = AttackConfig(target_class=TARGET_CLASS, n_flip_budget=5, iterations=120, seed=0)
+    result = CFTAttack(config, bit_reduction=True).run(qmodel, attacker_data)
+    before = evaluate_attack(qmodel.module, test_data, result.trigger, TARGET_CLASS)
+    print(f"   N_flip={result.n_flip}  TA={before.test_accuracy:.1%}  "
+          f"ASR={before.attack_success_rate:.1%}")
+
+    print("== RADAR (MSB checksums) ==")
+    report = radar_msb.check(qmodel)
+    print(f"   detected: {report.detected} "
+          f"(attack can avoid protected bits via AttackConfig.forbidden_bits)")
+
+    print("== Weight encoding (protects only the largest layer) ==")
+    flagged = encoder.detect(qmodel)
+    overhead = encoding_overhead_estimate(qmodel.total_params)
+    print(f"   flagged layers: {flagged or 'none'}; coverage "
+          f"{encoder.coverage(qmodel):.0%}; full-model cost would be "
+          f"{overhead.storage_overhead_percent:.0f}% extra storage")
+
+    print("== DeepDyve (checker model, assumes transient faults) ==")
+    guard = DeepDyveGuard(deployed=qmodel.module, checker=checker_qmodel.module)
+    stamped = result.trigger.apply(test_data.images[:64])
+    predictions, stats = guard.predict(stamped)
+    hijacked = (predictions == TARGET_CLASS).mean()
+    print(f"   alarms raised: {stats.alarms}/64, yet trigger inputs are still "
+          f"classified as the target {hijacked:.0%} of the time -- the re-run "
+          "consults the same corrupted page-cache weights (fault is persistent)")
+
+    print("== Weight reconstruction (recovery) ==")
+    clipped = reconstruction.reconstruct(qmodel)
+    after = evaluate_attack(qmodel.module, test_data, result.trigger, TARGET_CLASS)
+    print(f"   clipped {clipped} weights; ASR {before.attack_success_rate:.1%} "
+          f"-> {after.attack_success_rate:.1%} (unaware attacker)")
+    print("   (a defense-aware attacker re-runs the attack with the "
+          "reconstruction in the loop and keeps only surviving flips)")
+
+    print("== Binarization-aware training (prevention) ==")
+    pages_int8 = (qmodel.total_params + 4095) // 4096
+    pages_bin = binarized_page_count(qmodel.module)
+    print(f"   weight file shrinks {pages_int8} -> {pages_bin} pages, capping "
+          f"N_flip at {pages_bin} (constraint C2) at the price of accuracy")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Quickstart: train a victim, inject a backdoor offline, check TA/ASR.
+
+Runs the offline phase only (no memory simulation) at a small scale so it
+finishes in a few minutes on a laptop CPU:
+
+    python examples/quickstart.py
+"""
+
+import time
+
+from repro.analysis import evaluate_attack
+from repro.attacks import AttackConfig, CFTAttack
+from repro.core import pretrained_quantized_model
+from repro.core.training import evaluate_accuracy
+
+TARGET_CLASS = 2
+
+
+def main() -> None:
+    print("== 1. Train (or load cached) victim: ResNet-20 on synthetic CIFAR-10 ==")
+    start = time.time()
+    qmodel, _, test_data, attacker_data = pretrained_quantized_model(
+        "resnet20", dataset="cifar10", width=0.25, epochs=12, seed=0
+    )
+    base_accuracy = evaluate_accuracy(qmodel.module, test_data)
+    print(f"   victim ready in {time.time() - start:.0f}s, "
+          f"{qmodel.total_params:,} weights, base accuracy {base_accuracy:.1%}")
+
+    print("== 2. Offline attack: CFT+BR (Algorithm 1) ==")
+    config = AttackConfig(
+        target_class=TARGET_CLASS,
+        n_flip_budget=5,
+        iterations=120,
+        epsilon=0.01,
+        seed=0,
+    )
+    attack = CFTAttack(config, bit_reduction=True)
+    start = time.time()
+    result = attack.run(qmodel, attacker_data)
+    print(f"   found {result.n_flip} bit flips in {time.time() - start:.0f}s")
+
+    print("== 3. Evaluate the backdoored model ==")
+    evaluation = evaluate_attack(qmodel.module, test_data, result.trigger, TARGET_CLASS)
+    print(f"   test accuracy (clean inputs):   {evaluation.test_accuracy:.1%}")
+    print(f"   attack success rate (trigger):  {evaluation.attack_success_rate:.1%}")
+    print(f"   bits flipped: {result.n_flip} of {qmodel.total_bits:,}")
+
+
+if __name__ == "__main__":
+    main()

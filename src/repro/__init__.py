@@ -1,0 +1,20 @@
+"""Reproduction of "Don't Knock! Rowhammer at the Backdoor of DNN Models".
+
+The package is organized bottom-up:
+
+- :mod:`repro.autodiff` -- a from-scratch NumPy reverse-mode autograd engine.
+- :mod:`repro.nn`, :mod:`repro.optim` -- neural-network layers and optimizers.
+- :mod:`repro.data` -- synthetic datasets and trigger-pattern utilities.
+- :mod:`repro.models` -- ResNet and VGG architectures from the paper.
+- :mod:`repro.quant` -- TensorRT-style int8 quantization and bit manipulation.
+- :mod:`repro.memory` -- DRAM geometry, page cache and mmap simulation.
+- :mod:`repro.rowhammer` -- n-sided Rowhammer engine and fault profiling.
+- :mod:`repro.attacks` -- CFT/CFT+BR and the BadNet/FT/TBT baselines.
+- :mod:`repro.defenses` -- the countermeasures evaluated in Section VI.
+- :mod:`repro.analysis` -- probability analysis, metrics and GradCAM.
+- :mod:`repro.core` -- end-to-end offline+online attack pipeline.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,28 @@
+"""Probability analysis, evaluation metrics and GradCAM."""
+
+from repro.analysis.probability import (
+    target_page_probability,
+    target_page_probability_approx,
+    monte_carlo_target_page_probability,
+)
+from repro.analysis.metrics import (
+    attack_success_rate,
+    dram_match_rate,
+    evaluate_attack,
+    n_flip,
+    test_accuracy,
+)
+from repro.analysis.gradcam import gradcam_heatmap, gradcam_focus_on_mask
+
+__all__ = [
+    "target_page_probability",
+    "target_page_probability_approx",
+    "monte_carlo_target_page_probability",
+    "test_accuracy",
+    "attack_success_rate",
+    "n_flip",
+    "dram_match_rate",
+    "evaluate_attack",
+    "gradcam_heatmap",
+    "gradcam_focus_on_mask",
+]

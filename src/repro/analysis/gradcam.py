@@ -1,0 +1,89 @@
+"""GradCAM (Selvaraju et al.) for the reproduction's models.
+
+Used for the SentiNet analysis (Fig. 8): after a successful backdoor
+injection, the model's GradCAM focus shifts onto the trigger patch for
+stamped inputs, regardless of where the true object lies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.errors import ReproError
+from repro.nn.module import Module
+
+
+def gradcam_heatmap(model: Module, image: np.ndarray, class_index: Optional[int] = None) -> np.ndarray:
+    """Compute a GradCAM heatmap over the final convolutional features.
+
+    Parameters
+    ----------
+    model:
+        Must expose ``forward_features`` and ``forward_head`` (all models in
+        :mod:`repro.models` do).
+    image:
+        Single image (C, H, W).
+    class_index:
+        Class whose score is explained; defaults to the predicted class.
+
+    Returns
+    -------
+    Heatmap of shape (H_f, W_f) normalized to [0, 1] (feature resolution).
+    """
+    if not hasattr(model, "forward_features") or not hasattr(model, "forward_head"):
+        raise ReproError("model does not expose forward_features/forward_head for GradCAM")
+    was_training = model.training
+    model.eval()
+    try:
+        x = Tensor(np.asarray(image, dtype=np.float32)[None])
+        features = model.forward_features(x)
+        # Re-root the tape at the feature maps so their gradient is retained.
+        leaf = Tensor(features.numpy(), requires_grad=True)
+        logits = model.forward_head(leaf)
+        scores = logits.numpy()[0]
+        target = int(class_index) if class_index is not None else int(scores.argmax())
+        seed = np.zeros_like(logits.numpy())
+        seed[0, target] = 1.0
+        logits.backward(seed)
+        grads = leaf.grad[0]  # (C, H_f, W_f)
+        activations = leaf.numpy()[0]
+    finally:
+        if was_training:
+            model.train()
+
+    weights = grads.mean(axis=(1, 2))  # alpha_c: GAP over spatial dims
+    cam = np.maximum((weights[:, None, None] * activations).sum(axis=0), 0.0)
+    peak = cam.max()
+    if peak > 0:
+        cam = cam / peak
+    return cam.astype(np.float32)
+
+
+def gradcam_focus_on_mask(
+    heatmap: np.ndarray, mask: np.ndarray, image_size: Optional[int] = None
+) -> float:
+    """Fraction of GradCAM mass inside a (downsampled) trigger mask.
+
+    ``mask`` is the trigger's (C, H, W) or (H, W) boolean mask at image
+    resolution; the heatmap is at feature resolution, so the mask is
+    box-downsampled before comparison.  Returns mass(mask) / mass(total).
+    """
+    mask = np.asarray(mask)
+    if mask.ndim == 3:
+        mask = mask.any(axis=0)
+    h_f, w_f = heatmap.shape
+    h, w = mask.shape
+    # Box-downsample the mask onto the heatmap grid.
+    down = np.zeros((h_f, w_f), dtype=bool)
+    for i in range(h_f):
+        for j in range(w_f):
+            y0, y1 = i * h // h_f, max((i + 1) * h // h_f, i * h // h_f + 1)
+            x0, x1 = j * w // w_f, max((j + 1) * w // w_f, j * w // w_f + 1)
+            down[i, j] = mask[y0:y1, x0:x1].any()
+    total = float(heatmap.sum())
+    if total == 0.0:
+        return 0.0
+    return float(heatmap[down].sum() / total)

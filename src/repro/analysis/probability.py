@@ -1,0 +1,106 @@
+"""Target-page probability analysis (Equations 1 and 2, Figures 9 and 10).
+
+The equations give the probability that at least one of ``N`` flippy pages
+in a profiled buffer contains usable flips at a *specific chain of bit
+offsets* with the required directions -- the quantity that makes one flip
+per page realistic and 2+ flips per page hopeless.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+PAGE_BITS = 32_768  # bits in a 4 KB page (S in the paper)
+
+
+def target_page_probability(
+    k: int,
+    l: int,
+    n_up: float,
+    n_down: float,
+    num_pages: int,
+    page_bits: int = PAGE_BITS,
+) -> float:
+    """Equation 1: exact form with separate flip directions.
+
+    Parameters
+    ----------
+    k / l:
+        Number of required 0->1 / 1->0 bit offsets in the page.
+    n_up / n_down:
+        Average number of 0->1 / 1->0 flippable cells per page.
+    num_pages:
+        Number of flippy pages available (N).
+    page_bits:
+        Bits per page (S).
+    """
+    if k < 0 or l < 0:
+        raise ValueError(f"k and l must be non-negative, got {k}, {l}")
+    if num_pages < 0:
+        raise ValueError(f"num_pages must be non-negative, got {num_pages}")
+    single = 1.0
+    for i in range(k):
+        single *= max(0.0, (n_up - i)) / (page_bits - i)
+    for j in range(l):
+        single *= max(0.0, (n_down - j)) / (page_bits - k - j)
+    single = min(max(single, 0.0), 1.0)
+    return float(1.0 - (1.0 - single) ** num_pages)
+
+
+def target_page_probability_approx(
+    num_offsets: int,
+    flips_per_page: float,
+    num_pages: int,
+    page_bits: int = PAGE_BITS,
+) -> float:
+    """Equation 2: reduced form using the combined flip rate.
+
+    ``num_offsets`` is k+l; ``flips_per_page`` is n_up + n_down (the paper
+    uses 34 for its DDR3 reference chip).
+    """
+    if num_offsets < 0:
+        raise ValueError(f"num_offsets must be non-negative, got {num_offsets}")
+    single = 1.0
+    for i in range(num_offsets):
+        single *= max(0.0, flips_per_page - i) / (page_bits - i)
+    single = min(max(single, 0.0), 1.0)
+    return float(1.0 - (1.0 - single) ** num_pages)
+
+
+def monte_carlo_target_page_probability(
+    k: int,
+    l: int,
+    n_up: int,
+    n_down: int,
+    num_pages: int,
+    trials: int = 2000,
+    page_bits: int = PAGE_BITS,
+    rng: SeedLike = 0,
+) -> float:
+    """Empirical cross-check of Eq. 1 by direct simulation.
+
+    Each trial scatters ``n_up`` up-flippable and ``n_down`` down-flippable
+    cells uniformly in each of ``num_pages`` pages and checks whether any
+    page covers the k+l required offsets with matching directions.  The
+    required offsets are fixed (their identity does not matter by symmetry).
+    """
+    rng = new_rng(rng)
+    required_up = np.arange(k)
+    required_down = np.arange(k, k + l)
+    hits = 0
+    for _ in range(trials):
+        found = False
+        for _ in range(num_pages):
+            cells = rng.choice(page_bits, size=n_up + n_down, replace=False)
+            ups = set(cells[:n_up].tolist())
+            downs = set(cells[n_up:].tolist())
+            if all(offset in ups for offset in required_up) and all(
+                offset in downs for offset in required_down
+            ):
+                found = True
+                break
+        if found:
+            hits += 1
+    return hits / trials

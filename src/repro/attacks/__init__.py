@@ -1,0 +1,24 @@
+"""Backdoor injection attacks: CFT/CFT+BR (ours) and the baselines."""
+
+from repro.attacks.base import AttackConfig, OfflineAttackResult
+from repro.attacks.objective import attack_loss_and_grads
+from repro.attacks.cft import CFTAttack, group_sort_select
+from repro.attacks.badnet import BadNetAttack
+from repro.attacks.ft import LastLayerFTAttack
+from repro.attacks.tbt import TBTAttack
+from repro.attacks.online import OnlineInjectionResult, OnlineInjector
+from repro.attacks.restore import restore_parameters_experiment
+
+__all__ = [
+    "AttackConfig",
+    "OfflineAttackResult",
+    "attack_loss_and_grads",
+    "CFTAttack",
+    "group_sort_select",
+    "BadNetAttack",
+    "LastLayerFTAttack",
+    "TBTAttack",
+    "OnlineInjector",
+    "OnlineInjectionResult",
+    "restore_parameters_experiment",
+]

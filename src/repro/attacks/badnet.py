@@ -1,0 +1,75 @@
+"""BadNet baseline (Gu et al.): unconstrained backdoor fine-tuning.
+
+BadNet fine-tunes *all* parameters on a mixture of clean and trigger-stamped
+data with a fixed trigger patch, placing no constraint on which weights
+change.  Offline it reaches near-perfect ASR, but the resulting bit flips
+number in the hundreds of thousands and concentrate within pages, so almost
+none are realizable with Rowhammer (r_match ~0.02 % in Table II).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import AttackConfig, OfflineAttackResult
+from repro.attacks.objective import attack_loss_and_grads
+from repro.data.dataset import ArrayDataset
+from repro.data.trigger import TriggerPattern
+from repro.quant.bits import hamming_distance
+from repro.quant.qmodel import QuantizedModel
+from repro.utils.rng import new_rng
+
+
+class BadNetAttack:
+    """Unconstrained fine-tuning of every parameter with a fixed trigger."""
+
+    name = "BadNet"
+
+    def __init__(self, config: AttackConfig) -> None:
+        self.config = config
+
+    def run(self, qmodel: QuantizedModel, attacker_data: ArrayDataset) -> OfflineAttackResult:
+        config = self.config
+        rng = new_rng(config.seed)
+        model = qmodel.module
+        model.eval()
+
+        original_q = qmodel.flat_int8()
+        image_shape = attacker_data.images.shape[1:]
+        # BadNet uses a fixed (non-optimized) patch; mid-gray maximizes
+        # contrast against both dark and bright image regions.
+        trigger = TriggerPattern.square(image_shape, config.trigger_size)
+
+        params = model.parameters()
+        loss_history = []
+        for _ in range(config.iterations):
+            batch_idx = rng.choice(
+                len(attacker_data),
+                size=min(config.batch_size, len(attacker_data)),
+                replace=False,
+            )
+            grads = attack_loss_and_grads(
+                model,
+                attacker_data.images[batch_idx],
+                attacker_data.labels[batch_idx],
+                trigger,
+                config.target_class,
+                config.alpha,
+                need_trigger_grad=False,
+            )
+            loss_history.append(grads.loss)
+            named = dict(model.named_parameters())
+            for name, grad in grads.param_grads.items():
+                named[name].data = named[name].data - config.learning_rate * grad
+
+        qmodel.requantize_from_module()
+        qmodel.sync_to_module()
+        backdoored_q = qmodel.flat_int8()
+        return OfflineAttackResult(
+            original_weights=original_q,
+            backdoored_weights=backdoored_q,
+            trigger=trigger,
+            n_flip=hamming_distance(original_q, backdoored_q),
+            loss_history=loss_history,
+            method=self.name,
+        )

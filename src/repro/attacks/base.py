@@ -1,0 +1,86 @@
+"""Shared attack configuration and result types."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.data.trigger import TriggerPattern
+from repro.errors import AttackError
+
+
+@dataclasses.dataclass
+class AttackConfig:
+    """Hyperparameters shared by the offline attacks.
+
+    Defaults follow Section V-A: alpha = 0.5, epsilon = 0.001, trigger
+    initialized as a black square in the bottom-right corner.
+
+    ``update_rule`` controls the masked fine-tuning step (Eq. 6):
+    ``"gradient"`` is the paper's plain gradient descent; ``"sign"``
+    (default) steps each selected weight by ``step_quanta`` quantization
+    steps against its gradient sign -- an equivalent-direction update that
+    converges in far fewer iterations, which matters because our NumPy
+    substrate is orders of magnitude slower per iteration than the paper's
+    GPU setup.  Bit reduction projects both variants identically.
+    """
+
+    target_class: int = 0
+    alpha: float = 0.5
+    epsilon: float = 0.001
+    learning_rate: float = 0.01
+    iterations: int = 200
+    batch_size: int = 128
+    trigger_size: int = 10
+    n_flip_budget: int = 10
+    bit_reduction_interval: int = 100
+    trigger_update: bool = True
+    update_rule: str = "sign"
+    step_quanta: float = 8.0
+    forbidden_bits: tuple = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise AttackError(f"alpha must be in [0, 1], got {self.alpha}")
+        if self.epsilon < 0:
+            raise AttackError(f"epsilon must be non-negative, got {self.epsilon}")
+        if self.iterations <= 0:
+            raise AttackError(f"iterations must be positive, got {self.iterations}")
+        if self.n_flip_budget <= 0:
+            raise AttackError(f"n_flip_budget must be positive, got {self.n_flip_budget}")
+        if self.update_rule not in ("sign", "gradient"):
+            raise AttackError(
+                f"update_rule must be 'sign' or 'gradient', got {self.update_rule!r}"
+            )
+        if self.step_quanta <= 0:
+            raise AttackError(f"step_quanta must be positive, got {self.step_quanta}")
+
+
+@dataclasses.dataclass
+class OfflineAttackResult:
+    """Output of an offline attack phase.
+
+    Attributes
+    ----------
+    original_weights / backdoored_weights:
+        Flat int8 weight-file contents before and after the attack.
+    trigger:
+        The (possibly optimized) trigger pattern.
+    n_flip:
+        Hamming distance in bits between the two weight files.
+    loss_history:
+        Per-iteration total objective values (Fig. 7).
+    method:
+        Attack name for reporting.
+    """
+
+    original_weights: np.ndarray
+    backdoored_weights: np.ndarray
+    trigger: TriggerPattern
+    n_flip: int
+    loss_history: List[float]
+    method: str
+    extra: Dict[str, float] = dataclasses.field(default_factory=dict)

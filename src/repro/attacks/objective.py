@@ -1,0 +1,84 @@
+"""The joint attack objective (Equation 3) and its gradients.
+
+``F(dtheta, dx) = (1 - alpha) * CE(f(x), y)  +  alpha * CE(f(x + dx), y~)``
+
+balances clean-data fidelity against trigger effectiveness.  One evaluation
+returns the loss, per-parameter gradients (for weight selection and the
+masked fine-tuning step) and the input gradient on the trigger region (for
+the FGSM trigger step, Eq. 4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.autodiff import cross_entropy
+from repro.autodiff.tensor import Tensor
+from repro.data.trigger import TriggerPattern
+from repro.nn.module import Module
+
+
+@dataclasses.dataclass
+class ObjectiveGrads:
+    """One evaluation of Eq. 3."""
+
+    loss: float
+    clean_loss: float
+    trigger_loss: float
+    param_grads: Dict[str, np.ndarray]
+    trigger_grad: Optional[np.ndarray]  # dF/d(input) summed over the batch
+
+
+def attack_loss_and_grads(
+    model: Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    trigger: TriggerPattern,
+    target_class: int,
+    alpha: float,
+    need_trigger_grad: bool = True,
+) -> ObjectiveGrads:
+    """Evaluate Eq. 3 on one batch and backpropagate both terms.
+
+    The model must be in the mode the caller wants (attacks run it in eval
+    mode so batch-norm uses deployed running statistics -- the attacker
+    cannot retrain normalization on the victim's data).
+    """
+    model.zero_grad()
+    target_labels = np.full(len(images), target_class, dtype=np.int64)
+
+    # Clean term: keep behaving correctly on unmodified inputs.
+    clean_loss_t = cross_entropy(model(Tensor(images)), labels)
+
+    # Trigger term: stamped inputs must map to the target class.  The input
+    # is a differentiable leaf so dF/d(input) yields the FGSM direction.
+    stamped = trigger.apply(images)
+    stamped_t = Tensor(stamped, requires_grad=need_trigger_grad)
+    trigger_loss_t = cross_entropy(model(stamped_t), target_labels)
+
+    total = clean_loss_t * (1.0 - alpha) + trigger_loss_t * alpha
+    total.backward()
+
+    param_grads = {
+        name: (param.grad.copy() if param.grad is not None else np.zeros_like(param.data))
+        for name, param in model.named_parameters()
+    }
+    trigger_grad = None
+    if need_trigger_grad and stamped_t.grad is not None:
+        # Sum over the batch: the FGSM step only uses the gradient's sign.
+        trigger_grad = stamped_t.grad.sum(axis=0)
+    return ObjectiveGrads(
+        loss=float(total.item()),
+        clean_loss=float(clean_loss_t.item()),
+        trigger_loss=float(trigger_loss_t.item()),
+        param_grads=param_grads,
+        trigger_grad=trigger_grad,
+    )
+
+
+def flatten_grads(param_grads: Dict[str, np.ndarray], names: List[str]) -> np.ndarray:
+    """Concatenate per-parameter gradients in weight-file order."""
+    return np.concatenate([param_grads[name].reshape(-1) for name in names])

@@ -1,0 +1,273 @@
+"""The online attack phase: placing pages and flipping bits with Rowhammer.
+
+Implements Section IV-B end-to-end against the simulated OS/DRAM:
+
+1. **Templating**: match every weight-file page that needs flips to a
+   profiled flippy frame with compatible (offset, bit, direction) cells.
+2. **Releasing the flippy rows** (Listing 1): unmap the attacker's frames in
+   reverse file order so the per-CPU FILO frame cache hands the victim's
+   file pages exactly the planned frames (Figure 4's reversed mapping).
+3. **Mapping**: mmap the weight file; verify the placement.
+4. **Hammering**: run the n-sided pattern on each target frame's row; read
+   the corrupted file back through the page cache.
+
+Baseline attacks whose pages need several flips get the paper's relaxation:
+the single flip with the highest priority (largest weight change) in the
+page is attempted alone, and the rest are abandoned -- this is how Table II's
+online columns are produced for BadNet/FT/TBT/CFT.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.attacks.base import OfflineAttackResult
+from repro.errors import AttackError, MemoryModelError
+from repro.memory.geometry import PAGE_FRAME_SIZE
+from repro.memory.mmap import MappedFile, OSMemoryModel
+from repro.quant.weightfile import PAGE_SIZE_BITS, BitLocation, WeightFile
+from repro.rowhammer.hammer import HammerEngine
+from repro.rowhammer.profiler import FlipProfile
+from repro.rowhammer.templating import PageTemplater, group_targets_by_page
+
+
+@dataclasses.dataclass
+class OnlineInjectionResult:
+    """Outcome of one end-to-end Rowhammer injection.
+
+    Attributes
+    ----------
+    corrupted_weights:
+        The weight file as the victim now reads it from the page cache.
+    n_flip_required / n_flip_achieved:
+        Planned vs actually realized target flips.
+    accidental_flips_targeted / accidental_flips_elsewhere:
+        Extra flips inside targeted pages (the r_match ``delta``) and in
+        other weight-file pages.
+    r_match:
+        The paper's DRAM match-rate percentage.
+    hammer_seconds:
+        Simulated wall-clock spent hammering.
+    """
+
+    corrupted_weights: np.ndarray
+    n_flip_required: int
+    n_flip_achieved: int
+    accidental_flips_targeted: int
+    accidental_flips_elsewhere: int
+    r_match: float
+    matched_pages: List[int]
+    unmatched_pages: List[int]
+    hammer_seconds: float
+    placement_verified: bool
+
+
+class OnlineInjector:
+    """Runs the online phase against a simulated OS + DRAM."""
+
+    def __init__(
+        self,
+        os_model: OSMemoryModel,
+        engine: HammerEngine,
+        profile: FlipProfile,
+        attacker_buffer: MappedFile,
+        n_sides: int = 7,
+    ) -> None:
+        self.os = os_model
+        self.engine = engine
+        self.profile = profile
+        self.attacker_buffer = attacker_buffer
+        self.n_sides = n_sides
+
+    # ------------------------------------------------------------------
+    def inject(
+        self,
+        offline: OfflineAttackResult,
+        file_id: str,
+        fallback_single_bit: bool = True,
+    ) -> OnlineInjectionResult:
+        """Inject the offline phase's flips into the deployed weight file."""
+        original = WeightFile(offline.original_weights)
+        desired = WeightFile(offline.backdoored_weights)
+        locations = original.bit_locations_against(desired)
+        n_required = len(locations)
+        targets = group_targets_by_page(locations)
+
+        templater = PageTemplater(self.profile)
+        match = templater.match(targets)
+
+        # Paper relaxation for dense baselines: pages that cannot be fully
+        # matched retry with only their highest-priority single flip.
+        if fallback_single_bit and match.unmatched_pages:
+            extra_targets: Dict[int, List[BitLocation]] = {}
+            for page in match.unmatched_pages:
+                best = max(
+                    targets[page],
+                    key=lambda loc: self._flip_priority(original, desired, loc),
+                )
+                extra_targets[page] = [best]
+            used = set(match.assignments.values())
+            fallback_templater = _RestrictedTemplater(templater, used)
+            fallback_match = fallback_templater.match(extra_targets)
+            match.assignments.update(fallback_match.assignments)
+            match.matched_pages = sorted(
+                set(match.matched_pages) | set(fallback_match.matched_pages)
+            )
+            match.unmatched_pages = sorted(
+                set(match.unmatched_pages) - set(fallback_match.matched_pages)
+            )
+            # Only the single chosen flip per fallback page is still planned.
+            for page in fallback_match.matched_pages:
+                targets[page] = extra_targets[page]
+
+        mapping = self._place_file(file_id, original, match.assignments)
+        placement_ok = all(
+            mapping.frame_of(page) == frame for page, frame in match.assignments.items()
+        )
+
+        hammer_seconds = self._hammer_targets(match.assignments)
+        corrupted = np.frombuffer(
+            self.os.read_mapping(mapping), dtype=np.int8
+        )[: len(original)].copy()
+
+        return self._score(
+            original, desired, corrupted, targets, match, n_required, hammer_seconds, placement_ok
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _flip_priority(original: WeightFile, desired: WeightFile, loc: BitLocation) -> float:
+        """Priority of one flip: magnitude of its byte's integer change."""
+        index = loc.flat_byte_index
+        return abs(int(desired.read(index)) - int(original.read(index)))
+
+    def _place_file(
+        self, file_id: str, original: WeightFile, assignments: Dict[int, int]
+    ) -> MappedFile:
+        """Listing 1: release attacker frames so the file lands as planned."""
+        num_pages = original.num_pages
+        owned = dict(self.attacker_buffer.frames)  # virtual page -> frame
+        frame_to_virtual = {frame: page for page, frame in owned.items()}
+
+        target_frames = set(assignments.values())
+        missing = [f for f in target_frames if f not in frame_to_virtual]
+        if missing:
+            raise AttackError(
+                f"attacker does not own matched flippy frames {missing[:5]}"
+            )
+        bait_frames = [
+            frame for frame in owned.values() if frame not in target_frames
+        ]
+        if len(bait_frames) < num_pages - len(assignments):
+            raise AttackError(
+                "attacker buffer too small: "
+                f"{len(bait_frames)} bait frames for {num_pages - len(assignments)} pages"
+            )
+
+        # Decide which physical frame each file page should receive.
+        plan: Dict[int, int] = dict(assignments)
+        bait_iter = iter(bait_frames)
+        for page in range(num_pages):
+            if page not in plan:
+                plan[page] = next(bait_iter)
+
+        # Release in reverse file order: the FILO frame cache then hands
+        # file page 0 the last-released frame, page 1 the one before, ...
+        for page in sorted(plan, reverse=True):
+            frame = plan[page]
+            self.os.munmap_page(self.attacker_buffer, frame_to_virtual[frame])
+
+        self.os.register_file(file_id, original.to_bytes())
+        return self.os.mmap_file(file_id)
+
+    def _hammer_targets(self, assignments: Dict[int, int]) -> float:
+        """Hammer the row of every target frame with the online pattern."""
+        start = self.engine.total_seconds
+        geometry = self.os.dram.geometry
+        hammered: set = set()
+        for frame in assignments.values():
+            address = geometry.frame_address(frame)
+            key = (address.bank, address.row)
+            if key in hammered:
+                continue
+            hammered.add(key)
+            self.engine.hammer_victim(address.bank, address.row, self.n_sides)
+        return self.engine.total_seconds - start
+
+    def _score(
+        self,
+        original: WeightFile,
+        desired: WeightFile,
+        corrupted: np.ndarray,
+        targets: Dict[int, List[BitLocation]],
+        match,
+        n_required: int,
+        hammer_seconds: float,
+        placement_ok: bool,
+    ) -> OnlineInjectionResult:
+        corrupted_file = WeightFile(corrupted)
+        achieved_locations = original.bit_locations_against(corrupted_file)
+        achieved_keys = {
+            (loc.page, loc.byte_offset, loc.bit_index, loc.direction)
+            for loc in achieved_locations
+        }
+
+        planned_keys = set()
+        for page, locations in targets.items():
+            for loc in locations:
+                planned_keys.add((loc.page, loc.byte_offset, loc.bit_index, loc.direction))
+        n_achieved = len(planned_keys & achieved_keys)
+
+        targeted_pages = set(match.assignments)
+        accidental_targeted = sum(
+            1
+            for loc in achieved_locations
+            if loc.page in targeted_pages
+            and (loc.page, loc.byte_offset, loc.bit_index, loc.direction) not in planned_keys
+        )
+        accidental_elsewhere = sum(
+            1 for loc in achieved_locations if loc.page not in targeted_pages
+        )
+        from repro.analysis.metrics import dram_match_rate
+
+        r_match = dram_match_rate(
+            n_match=n_achieved,
+            total_flips=n_required,
+            accidental_flips_in_pages=accidental_targeted,
+            page_bits=PAGE_SIZE_BITS,
+        )
+        return OnlineInjectionResult(
+            corrupted_weights=corrupted,
+            n_flip_required=n_required,
+            n_flip_achieved=n_achieved,
+            accidental_flips_targeted=accidental_targeted,
+            accidental_flips_elsewhere=accidental_elsewhere,
+            r_match=r_match,
+            matched_pages=match.matched_pages,
+            unmatched_pages=match.unmatched_pages,
+            hammer_seconds=hammer_seconds,
+            placement_verified=placement_ok,
+        )
+
+
+class _RestrictedTemplater:
+    """Templater view that refuses frames already claimed by the main match."""
+
+    def __init__(self, base: PageTemplater, used_frames: set) -> None:
+        self._base = base
+        self._used = set(used_frames)
+
+    def match(self, targets_by_page: Dict[int, List[BitLocation]]):
+        # Temporarily hide used frames from the base templater's index.
+        hidden = {
+            frame: self._base._frame_flips.pop(frame)
+            for frame in list(self._base._frame_flips)
+            if frame in self._used
+        }
+        try:
+            return self._base.match(targets_by_page)
+        finally:
+            self._base._frame_flips.update(hidden)

@@ -1,0 +1,198 @@
+"""Differentiable 2-D convolution and pooling via im2col.
+
+All operators use NCHW layout, matching the paper's PyTorch models.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autodiff.tensor import Function, Tensor
+from repro.errors import ShapeError
+
+
+def _out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def _im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, padding: int
+) -> Tuple[np.ndarray, int, int]:
+    """Extract sliding patches: (N, C, H, W) -> (N, out_h*out_w, C*kh*kw)."""
+    n, c, h, w = x.shape
+    out_h = _out_size(h, kh, stride, padding)
+    out_w = _out_size(w, kw, stride, padding)
+    if out_h <= 0 or out_w <= 0:
+        raise ShapeError(
+            f"convolution output would be empty for input {x.shape}, "
+            f"kernel ({kh},{kw}), stride {stride}, padding {padding}"
+        )
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    strides = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(strides[0], strides[1], strides[2] * stride, strides[3] * stride, strides[2], strides[3]),
+        writeable=False,
+    )
+    # -> (N, out_h*out_w, C*kh*kw)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h * out_w, c * kh * kw)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Scatter-add patches back: inverse of :func:`_im2col` for gradients."""
+    n, c, h, w = x_shape
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    cols = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    for i in range(kh):
+        i_end = i + stride * out_h
+        for j in range(kw):
+            j_end = j + stride * out_w
+            padded[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, :, :, i, j]
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+class Conv2dFunction(Function):
+    """2-D cross-correlation with optional bias (like torch.nn.functional.conv2d)."""
+
+    def forward(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        stride: int,
+        padding: int,
+    ) -> np.ndarray:
+        out_c, in_c, kh, kw = weight.shape
+        if x.shape[1] != in_c:
+            raise ShapeError(
+                f"conv2d input has {x.shape[1]} channels but weight expects {in_c}"
+            )
+        cols, out_h, out_w = _im2col(x, kh, kw, stride, padding)
+        w_mat = weight.reshape(out_c, -1)
+        out = cols @ w_mat.T  # (N, out_h*out_w, out_c)
+        if bias is not None:
+            out = out + bias
+        out = out.transpose(0, 2, 1).reshape(x.shape[0], out_c, out_h, out_w)
+        self.save_for_backward(cols, x.shape, weight, bias is not None, stride, padding, out_h, out_w)
+        return out
+
+    def backward(self, grad: np.ndarray) -> Sequence[Optional[np.ndarray]]:
+        cols, x_shape, weight, has_bias, stride, padding, out_h, out_w = self.saved
+        n = x_shape[0]
+        out_c, in_c, kh, kw = weight.shape
+        grad_mat = grad.reshape(n, out_c, out_h * out_w).transpose(0, 2, 1)  # (N, L, out_c)
+        w_mat = weight.reshape(out_c, -1)
+
+        grad_cols = grad_mat @ w_mat  # (N, L, C*kh*kw)
+        grad_x = _col2im(grad_cols, x_shape, kh, kw, stride, padding, out_h, out_w)
+
+        grad_w = np.einsum("nlo,nlk->ok", grad_mat, cols).reshape(weight.shape)
+        if has_bias:
+            return grad_x, grad_w, grad_mat.sum(axis=(0, 1))
+        return grad_x, grad_w
+
+
+class MaxPool2dFunction(Function):
+    def forward(self, x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+        n, c, h, w = x.shape
+        out_h = _out_size(h, kernel, stride, 0)
+        out_w = _out_size(w, kernel, stride, 0)
+        cols, _, _ = _im2col(x, kernel, kernel, stride, 0)
+        cols = cols.reshape(n, out_h * out_w, c, kernel * kernel)
+        argmax = cols.argmax(axis=3)
+        out = np.take_along_axis(cols, argmax[..., None], axis=3)[..., 0]
+        out = out.transpose(0, 2, 1).reshape(n, c, out_h, out_w)
+        self.save_for_backward(x.shape, argmax, kernel, stride, out_h, out_w)
+        return out
+
+    def backward(self, grad: np.ndarray) -> Sequence[Optional[np.ndarray]]:
+        x_shape, argmax, kernel, stride, out_h, out_w = self.saved
+        n, c, _, _ = x_shape
+        grad_flat = grad.reshape(n, c, out_h * out_w).transpose(0, 2, 1)  # (N, L, C)
+        grad_cols = np.zeros((n, out_h * out_w, c, kernel * kernel), dtype=grad.dtype)
+        np.put_along_axis(grad_cols, argmax[..., None], grad_flat[..., None], axis=3)
+        grad_cols = grad_cols.reshape(n, out_h * out_w, c * kernel * kernel)
+        grad_x = _col2im(grad_cols, x_shape, kernel, kernel, stride, 0, out_h, out_w)
+        return (grad_x,)
+
+
+class AvgPool2dFunction(Function):
+    def forward(self, x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+        n, c, h, w = x.shape
+        out_h = _out_size(h, kernel, stride, 0)
+        out_w = _out_size(w, kernel, stride, 0)
+        cols, _, _ = _im2col(x, kernel, kernel, stride, 0)
+        cols = cols.reshape(n, out_h * out_w, c, kernel * kernel)
+        out = cols.mean(axis=3).transpose(0, 2, 1).reshape(n, c, out_h, out_w)
+        self.save_for_backward(x.shape, kernel, stride, out_h, out_w)
+        return out
+
+    def backward(self, grad: np.ndarray) -> Sequence[Optional[np.ndarray]]:
+        x_shape, kernel, stride, out_h, out_w = self.saved
+        n, c, _, _ = x_shape
+        grad_flat = grad.reshape(n, c, out_h * out_w).transpose(0, 2, 1)
+        grad_cols = np.repeat(grad_flat[..., None] / (kernel * kernel), kernel * kernel, axis=3)
+        grad_cols = grad_cols.reshape(n, out_h * out_w, c * kernel * kernel)
+        grad_x = _col2im(grad_cols, x_shape, kernel, kernel, stride, 0, out_h, out_w)
+        return (grad_x,)
+
+
+class Pad2dFunction(Function):
+    def forward(self, x: np.ndarray, padding: int) -> np.ndarray:
+        self.save_for_backward(padding)
+        return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+    def backward(self, grad: np.ndarray) -> Sequence[Optional[np.ndarray]]:
+        (padding,) = self.saved
+        if padding == 0:
+            return (grad,)
+        return (grad[:, :, padding:-padding, padding:-padding],)
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D convolution over an NCHW input tensor."""
+    if bias is None:
+        return Conv2dFunction.apply(x, weight, None, stride, padding)
+    return Conv2dFunction.apply(x, weight, bias, stride, padding)
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling with square windows."""
+    return MaxPool2dFunction.apply(x, kernel=kernel, stride=stride or kernel)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling with square windows."""
+    return AvgPool2dFunction.apply(x, kernel=kernel, stride=stride or kernel)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over the full spatial extent, producing (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+def pad2d(x: Tensor, padding: int) -> Tensor:
+    """Zero-pad the two spatial dimensions symmetrically."""
+    return Pad2dFunction.apply(x, padding=padding)

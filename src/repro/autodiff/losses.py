@@ -1,0 +1,91 @@
+"""Numerically stable loss functions and softmax variants."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autodiff.tensor import Function, Tensor
+from repro.errors import ShapeError
+
+
+class LogSoftmaxFunction(Function):
+    """Row-wise log-softmax over the last axis, computed stably."""
+
+    def forward(self, logits: np.ndarray) -> np.ndarray:
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        log_norm = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        out = shifted - log_norm
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad: np.ndarray) -> Sequence[Optional[np.ndarray]]:
+        (out,) = self.saved
+        softmax = np.exp(out)
+        return (grad - softmax * grad.sum(axis=-1, keepdims=True),)
+
+
+class CrossEntropyFunction(Function):
+    """Mean cross-entropy between logits and integer class labels.
+
+    Fuses log-softmax and NLL for stability and a cheap backward pass.
+    """
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        if logits.ndim != 2:
+            raise ShapeError(f"cross_entropy expects 2-D logits, got shape {logits.shape}")
+        labels = labels.astype(np.int64).reshape(-1)
+        if labels.shape[0] != logits.shape[0]:
+            raise ShapeError(
+                f"labels ({labels.shape[0]}) and logits ({logits.shape[0]}) batch mismatch"
+            )
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_norm = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        log_probs = shifted - log_norm
+        n = logits.shape[0]
+        loss = -log_probs[np.arange(n), labels].mean()
+        self.save_for_backward(log_probs, labels)
+        return np.asarray(loss, dtype=logits.dtype)
+
+    def backward(self, grad: np.ndarray) -> Sequence[Optional[np.ndarray]]:
+        log_probs, labels = self.saved
+        n = log_probs.shape[0]
+        grad_logits = np.exp(log_probs)
+        grad_logits[np.arange(n), labels] -= 1.0
+        grad_logits *= np.asarray(grad) / n
+        return (grad_logits,)
+
+
+def log_softmax(logits: Tensor) -> Tensor:
+    """Log-softmax over the last axis."""
+    return LogSoftmaxFunction.apply(logits)
+
+
+def softmax(logits: Tensor) -> Tensor:
+    """Softmax over the last axis (via stable log-softmax)."""
+    return log_softmax(logits).exp()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy loss for integer labels.
+
+    ``labels`` is a plain integer array (not differentiated).
+    """
+    labels = np.asarray(labels)
+    return CrossEntropyFunction.apply(logits, labels)
+
+
+def nll_loss(log_probs: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood given log-probabilities."""
+    labels = np.asarray(labels).astype(np.int64).reshape(-1)
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), labels]
+    return -(picked.mean())
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    """Mean squared error between a tensor and a target array/tensor."""
+    target_t = target if isinstance(target, Tensor) else Tensor(np.asarray(target))
+    diff = prediction - target_t
+    return (diff * diff).mean()

@@ -1,0 +1,90 @@
+"""Fused batch-normalization operator (training and inference modes)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autodiff.tensor import Function, Tensor
+from repro.errors import ShapeError
+
+
+class BatchNorm2dFunction(Function):
+    """Per-channel batch normalization over an NCHW tensor.
+
+    In training mode, normalizes with batch statistics and differentiates
+    through them; in inference mode, uses the provided running statistics.
+    """
+
+    def forward(
+        self,
+        x: np.ndarray,
+        gamma: np.ndarray,
+        beta: np.ndarray,
+        running_mean: np.ndarray,
+        running_var: np.ndarray,
+        training: bool,
+        eps: float,
+    ) -> np.ndarray:
+        if x.ndim != 4:
+            raise ShapeError(f"BatchNorm2d expects NCHW input, got shape {x.shape}")
+        if training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+        else:
+            mean = running_mean
+            var = running_var
+        inv_std = 1.0 / np.sqrt(var + eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        out = gamma[None, :, None, None] * x_hat + beta[None, :, None, None]
+        self.save_for_backward(x_hat, inv_std, gamma, training)
+        self.batch_mean = mean
+        self.batch_var = var
+        return out
+
+    def backward(self, grad: np.ndarray) -> Sequence[Optional[np.ndarray]]:
+        x_hat, inv_std, gamma, training = self.saved
+        axes = (0, 2, 3)
+        grad_beta = grad.sum(axis=axes)
+        grad_gamma = (grad * x_hat).sum(axis=axes)
+        grad_xhat = grad * gamma[None, :, None, None]
+        if training:
+            m = grad.shape[0] * grad.shape[2] * grad.shape[3]
+            mean_gxh = grad_xhat.mean(axis=axes)
+            mean_gxh_xhat = (grad_xhat * x_hat).mean(axis=axes)
+            grad_x = (
+                grad_xhat
+                - mean_gxh[None, :, None, None]
+                - x_hat * mean_gxh_xhat[None, :, None, None]
+            ) * inv_std[None, :, None, None]
+        else:
+            grad_x = grad_xhat * inv_std[None, :, None, None]
+        return grad_x, grad_gamma, grad_beta
+
+
+def batch_norm2d(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    eps: float = 1e-5,
+) -> Tuple[Tensor, np.ndarray, np.ndarray]:
+    """Apply batch normalization; returns (output, batch_mean, batch_var).
+
+    The batch statistics are returned so callers (the layer) can update
+    running averages without recomputing them.
+    """
+    ctx_holder = {}
+
+    class _Bound(BatchNorm2dFunction):
+        def forward(self, *args, **kwargs):  # noqa: D102 - thin capture shim
+            out = super().forward(*args, **kwargs)
+            ctx_holder["mean"] = self.batch_mean
+            ctx_holder["var"] = self.batch_var
+            return out
+
+    out = _Bound.apply(x, gamma, beta, running_mean, running_var, training, eps)
+    return out, ctx_holder["mean"], ctx_holder["var"]

@@ -1,0 +1,134 @@
+"""Command-line interface for the reproduction's experiments.
+
+Usage (after ``pip install -e .``):
+
+    python -m repro.cli table2 --model resnet20
+    python -m repro.cli attack --model resnet20 --target 2 --flips 4
+    python -m repro.cli probability --flips-per-page 34 --pages 32768
+    python -m repro.cli devices
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_devices(args: argparse.Namespace) -> int:
+    from repro.rowhammer import DEVICE_PROFILES
+
+    print(f"{'tag':<5} {'DDR':>4} {'flips/page':>11} {'TRR':>5}")
+    for name in sorted(DEVICE_PROFILES):
+        profile = DEVICE_PROFILES[name]
+        print(
+            f"{name:<5} {profile.ddr_version:>4} {profile.flips_per_page:>11.2f} "
+            f"{'yes' if profile.trr_protected else 'no':>5}"
+        )
+    return 0
+
+
+def _cmd_probability(args: argparse.Namespace) -> int:
+    from repro.analysis import target_page_probability_approx
+
+    for offsets in range(1, args.max_offsets + 1):
+        p = target_page_probability_approx(offsets, args.flips_per_page, args.pages)
+        print(f"k+l={offsets}: P(find target page) = {p:.8f}")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.analysis import evaluate_attack
+    from repro.attacks import AttackConfig, CFTAttack
+    from repro.core import pretrained_quantized_model
+
+    qmodel, _, test_data, attacker_data = pretrained_quantized_model(
+        args.model, dataset=args.dataset, width=args.width, epochs=args.epochs, seed=args.seed
+    )
+    config = AttackConfig(
+        target_class=args.target,
+        n_flip_budget=args.flips,
+        iterations=args.iterations,
+        epsilon=0.01,
+        seed=args.seed,
+    )
+    result = CFTAttack(config, bit_reduction=not args.no_bit_reduction).run(
+        qmodel, attacker_data
+    )
+    evaluation = evaluate_attack(qmodel.module, test_data, result.trigger, args.target)
+    print(f"method: {result.method}")
+    print(f"N_flip: {result.n_flip} / {qmodel.total_bits} bits")
+    print(f"TA:     {evaluation.test_accuracy:.2%}")
+    print(f"ASR:    {evaluation.attack_success_rate:.2%}")
+    if args.save:
+        from repro.utils.serialization import save_offline_result
+
+        save_offline_result(result, args.save)
+        print(f"saved offline result to {args.save}")
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.core.experiment import ExperimentScale, format_table2, run_method_comparison
+
+    scale = ExperimentScale.from_env()
+    methods = tuple(args.methods.split(",")) if args.methods else (
+        "BadNet", "FT", "TBT", "CFT", "CFT+BR"
+    )
+    rows = run_method_comparison(
+        args.model, dataset=args.dataset, methods=methods, scale=scale, seed=args.seed
+    )
+    print(format_table2(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the repro CLI's argument parser (subcommand per experiment)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Rowhammer DNN backdoor reproduction (DSN 2023) experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list the Table I DRAM device profiles")
+
+    prob = sub.add_parser("probability", help="Eq. 2 target-page probabilities")
+    prob.add_argument("--flips-per-page", type=float, default=34.0)
+    prob.add_argument("--pages", type=int, default=32_768)
+    prob.add_argument("--max-offsets", type=int, default=3)
+
+    attack = sub.add_parser("attack", help="run the offline CFT(+BR) attack")
+    attack.add_argument("--model", default="resnet20")
+    attack.add_argument("--dataset", default="cifar10", choices=["cifar10", "imagenet"])
+    attack.add_argument("--width", type=float, default=0.25)
+    attack.add_argument("--epochs", type=int, default=12)
+    attack.add_argument("--target", type=int, default=2)
+    attack.add_argument("--flips", type=int, default=4)
+    attack.add_argument("--iterations", type=int, default=80)
+    attack.add_argument("--seed", type=int, default=0)
+    attack.add_argument("--no-bit-reduction", action="store_true")
+    attack.add_argument("--save", help="save the offline result to this .npz path")
+
+    table2 = sub.add_parser("table2", help="run a Table II method comparison")
+    table2.add_argument("--model", default="resnet20")
+    table2.add_argument("--dataset", default="cifar10", choices=["cifar10", "imagenet"])
+    table2.add_argument("--methods", help="comma-separated subset of methods")
+    table2.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "devices": _cmd_devices,
+        "probability": _cmd_probability,
+        "attack": _cmd_attack,
+        "table2": _cmd_table2,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""End-to-end orchestration: training, the attack pipeline and experiments."""
+
+from repro.core.config import MemoryConfig, PipelineConfig
+from repro.core.training import TrainingConfig, train_model, pretrained_quantized_model
+from repro.core.pipeline import BackdoorPipeline, PipelineResult
+
+__all__ = [
+    "MemoryConfig",
+    "PipelineConfig",
+    "TrainingConfig",
+    "train_model",
+    "pretrained_quantized_model",
+    "BackdoorPipeline",
+    "PipelineResult",
+]

@@ -1,0 +1,46 @@
+"""Configuration dataclasses for the end-to-end pipeline."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import AttackError
+
+
+@dataclasses.dataclass
+class MemoryConfig:
+    """Shape of the simulated memory system for the online phase.
+
+    Defaults give a 256 MB DRAM device with a 16 MB attacker buffer --
+    scaled from the paper's 128 MB profiling buffers to keep simulation
+    time low while leaving headroom for the weight file and bait pages.
+    """
+
+    device: str = "K1"  # Table I tag
+    num_banks: int = 16
+    rows_per_bank: int = 2048
+    row_size_bytes: int = 8192
+    attacker_buffer_pages: int = 4096  # 16 MB
+    n_sides_profile: int = 7
+    n_sides_online: int = 7
+    seed: int = 0
+
+    @property
+    def total_frames(self) -> int:
+        return self.num_banks * self.rows_per_bank * self.row_size_bytes // 4096
+
+
+@dataclasses.dataclass
+class PipelineConfig:
+    """Everything the end-to-end pipeline needs besides the model and data."""
+
+    memory: MemoryConfig = dataclasses.field(default_factory=MemoryConfig)
+    weight_file_id: str = "deployed_model.bin"
+
+    def validate_for_file_pages(self, file_pages: int) -> None:
+        usable = self.memory.attacker_buffer_pages
+        if file_pages > usable:
+            raise AttackError(
+                f"weight file needs {file_pages} pages but the attacker buffer "
+                f"only holds {usable}; increase attacker_buffer_pages"
+            )

@@ -1,0 +1,138 @@
+"""Experiment drivers: one function per paper table/figure.
+
+Each driver returns plain data structures (lists of dict rows) so the
+benchmark harness can both print paper-style tables and assert the
+qualitative "shape" of the results (who wins, by roughly what factor).
+Scale is controlled by :class:`ExperimentScale` so the same code runs as a
+quick benchmark or a full reproduction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import evaluate_attack
+from repro.attacks import (
+    AttackConfig,
+    BadNetAttack,
+    CFTAttack,
+    LastLayerFTAttack,
+    TBTAttack,
+)
+from repro.core.config import MemoryConfig, PipelineConfig
+from repro.core.pipeline import BackdoorPipeline, PipelineResult
+from repro.core.training import pretrained_quantized_model
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentScale:
+    """Resource knobs for the experiment drivers."""
+
+    width: float = 0.25
+    epochs: int = 12
+    attack_iterations: int = 60
+    n_flip_budget: int = 4
+    attacker_buffer_pages: int = 4096
+    test_subset: Optional[int] = 400
+
+    @classmethod
+    def from_env(cls) -> "ExperimentScale":
+        """Scale selected by the ``REPRO_BENCH_SCALE`` environment variable.
+
+        - ``tiny``: smoke-test scale (CI-friendly, minutes).
+        - ``small`` (default): laptop scale; qualitative shapes hold.
+        - ``full``: the largest CPU-feasible configuration.
+        """
+        name = os.environ.get("REPRO_BENCH_SCALE", "small")
+        presets = {
+            "tiny": cls(width=0.25, epochs=8, attack_iterations=60, n_flip_budget=4,
+                        attacker_buffer_pages=2048, test_subset=300),
+            "small": cls(),
+            "full": cls(width=0.5, epochs=12, attack_iterations=240, n_flip_budget=12,
+                        attacker_buffer_pages=8192, test_subset=None),
+        }
+        try:
+            return presets[name]
+        except KeyError:
+            raise ValueError(
+                f"REPRO_BENCH_SCALE must be one of {sorted(presets)}, got {name!r}"
+            ) from None
+
+
+def _method_registry(config: AttackConfig) -> Dict[str, Callable[[], object]]:
+    return {
+        "BadNet": lambda: BadNetAttack(config),
+        "FT": lambda: LastLayerFTAttack(config),
+        "TBT": lambda: TBTAttack(config),
+        "CFT": lambda: CFTAttack(config, bit_reduction=False),
+        "CFT+BR": lambda: CFTAttack(config, bit_reduction=True),
+    }
+
+
+def run_method_comparison(
+    model_name: str,
+    dataset: str = "cifar10",
+    methods: Sequence[str] = ("BadNet", "FT", "TBT", "CFT", "CFT+BR"),
+    scale: ExperimentScale = ExperimentScale(),
+    target_class: int = 2,
+    device: str = "K1",
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """One Table II block: every method on one victim model.
+
+    Returns one row dict per method with the offline/online N_flip, TA, ASR
+    and r_match columns.  Each method runs against a fresh copy of the same
+    deployed victim and a fresh memory system.
+    """
+    rows: List[Dict[str, float]] = []
+    for method in methods:
+        qmodel, _, test_data, attacker_data = pretrained_quantized_model(
+            model_name, dataset=dataset, width=scale.width, epochs=scale.epochs, seed=seed
+        )
+        if scale.test_subset is not None and scale.test_subset < len(test_data):
+            test_data = test_data.subset(np.arange(scale.test_subset))
+        config = AttackConfig(
+            target_class=target_class,
+            iterations=scale.attack_iterations,
+            n_flip_budget=scale.n_flip_budget,
+            epsilon=0.01,
+            seed=seed,
+        )
+        attack = _method_registry(config)[method]()
+        pipeline = BackdoorPipeline(
+            PipelineConfig(
+                memory=MemoryConfig(
+                    device=device,
+                    attacker_buffer_pages=scale.attacker_buffer_pages,
+                    seed=seed,
+                )
+            )
+        )
+        result = pipeline.run(attack, qmodel, attacker_data, test_data, target_class)
+        row = {"method": method, "model": model_name, **result.as_row()}
+        rows.append(row)
+    return rows
+
+
+def format_table2(rows: List[Dict[str, float]]) -> str:
+    """Render method-comparison rows in the paper's Table II layout."""
+    header = (
+        f"{'Method':<8} | {'Nflip':>7} {'TA%':>6} {'ASR%':>6} | "
+        f"{'Nflip':>6} {'TA%':>6} {'ASR%':>6} {'rmatch%':>8}"
+    )
+    lines = [
+        f"{'':8} | {'--- Offline ---':^21} | {'--- Online ---':^29}",
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['method']:<8} | {row['offline_n_flip']:>7.0f} {row['offline_ta']:>6.2f} "
+            f"{row['offline_asr']:>6.2f} | {row['online_n_flip']:>6.0f} {row['online_ta']:>6.2f} "
+            f"{row['online_asr']:>6.2f} {row['r_match']:>8.2f}"
+        )
+    return "\n".join(lines)

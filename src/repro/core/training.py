@@ -1,0 +1,124 @@
+"""Victim-model training and a cached "model zoo" for experiments.
+
+The paper downloads pretrained CIFAR-10/ImageNet checkpoints; offline we
+train victims once on the synthetic tasks and cache the resulting state
+dicts on disk so tests and benchmarks do not retrain.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.autodiff import cross_entropy, no_grad
+from repro.autodiff.tensor import Tensor
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.data.synthetic import make_cifar10_like, make_imagenet_like
+from repro.models import build_model
+from repro.nn.module import Module
+from repro.optim import SGD, CosineSchedule
+from repro.quant.qmodel import QuantizedModel
+
+DEFAULT_CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", Path.home() / ".cache" / "repro-models"))
+
+
+@dataclasses.dataclass
+class TrainingConfig:
+    """Victim training hyperparameters."""
+
+    epochs: int = 12
+    batch_size: int = 64
+    learning_rate: float = 0.1
+    momentum: float = 0.9
+    weight_decay: float = 5e-4
+    seed: int = 0
+
+
+def train_model(
+    model: Module,
+    train_data: ArrayDataset,
+    config: TrainingConfig = TrainingConfig(),
+    test_data: Optional[ArrayDataset] = None,
+) -> List[float]:
+    """Train a model in place; returns per-epoch mean losses."""
+    optimizer = SGD(
+        model.parameters(),
+        lr=config.learning_rate,
+        momentum=config.momentum,
+        weight_decay=config.weight_decay,
+    )
+    schedule = CosineSchedule(optimizer, total_epochs=config.epochs)
+    loader = DataLoader(train_data, batch_size=config.batch_size, shuffle=True, rng=config.seed)
+    history: List[float] = []
+    for _ in range(config.epochs):
+        model.train()
+        total = 0.0
+        for images, labels in loader:
+            optimizer.zero_grad()
+            loss = cross_entropy(model(Tensor(images)), labels)
+            loss.backward()
+            optimizer.step()
+            total += loss.item()
+        schedule.step()
+        history.append(total / max(1, len(loader)))
+    model.eval()
+    return history
+
+
+def evaluate_accuracy(model: Module, dataset: ArrayDataset, batch_size: int = 256) -> float:
+    """Clean accuracy of a model on a dataset."""
+    model.eval()
+    correct = 0
+    with no_grad():
+        for start in range(0, len(dataset), batch_size):
+            images = dataset.images[start : start + batch_size]
+            labels = dataset.labels[start : start + batch_size]
+            predictions = model(Tensor(images)).numpy().argmax(axis=1)
+            correct += int((predictions == labels).sum())
+    return correct / len(dataset) if len(dataset) else 0.0
+
+
+def _dataset_splits(dataset: str, seed: int) -> Tuple[ArrayDataset, ArrayDataset, ArrayDataset]:
+    if dataset == "cifar10":
+        return make_cifar10_like(seed=seed)
+    if dataset == "imagenet":
+        return make_imagenet_like(seed=seed)
+    raise ValueError(f"unknown dataset {dataset!r}; expected 'cifar10' or 'imagenet'")
+
+
+def pretrained_quantized_model(
+    model_name: str,
+    dataset: str = "cifar10",
+    width: float = 0.25,
+    seed: int = 0,
+    epochs: int = 12,
+    cache_dir: Optional[Path] = None,
+    force_retrain: bool = False,
+) -> Tuple[QuantizedModel, ArrayDataset, ArrayDataset, ArrayDataset]:
+    """Return a trained, quantized victim and its (train, test, attacker) data.
+
+    Models are cached as ``.npz`` state dicts keyed by every hyperparameter
+    that affects the weights, so repeated benchmark runs skip training.
+    """
+    cache_dir = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    train_data, test_data, attacker_data = _dataset_splits(dataset, seed)
+    num_classes = int(train_data.labels.max()) + 1
+
+    model = build_model(model_name, num_classes=num_classes, width=width, rng=seed)
+    # v2: bump when the synthetic task definition changes, invalidating
+    # checkpoints trained on older data.
+    cache_key = f"{model_name}-{dataset}-v2-w{width}-s{seed}-e{epochs}.npz"
+    cache_path = cache_dir / cache_key
+    if cache_path.exists() and not force_retrain:
+        with np.load(cache_path) as payload:
+            model.load_state_dict({name: payload[name] for name in payload.files})
+        model.eval()
+    else:
+        train_model(model, train_data, TrainingConfig(epochs=epochs, seed=seed), test_data)
+        np.savez(cache_path, **model.state_dict())
+    return QuantizedModel(model), train_data, test_data, attacker_data

@@ -1,0 +1,15 @@
+"""Datasets, data loaders and backdoor trigger utilities."""
+
+from repro.data.dataset import ArrayDataset, DataLoader, Dataset
+from repro.data.synthetic import SyntheticImageClassification, make_cifar10_like, make_imagenet_like
+from repro.data.trigger import TriggerPattern
+
+__all__ = [
+    "Dataset",
+    "ArrayDataset",
+    "DataLoader",
+    "SyntheticImageClassification",
+    "make_cifar10_like",
+    "make_imagenet_like",
+    "TriggerPattern",
+]

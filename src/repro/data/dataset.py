@@ -1,0 +1,98 @@
+"""Minimal dataset/loader abstractions (PyTorch-like, NumPy-backed)."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+class Dataset:
+    """Abstract indexable dataset of (image, label) pairs."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """Dataset backed by in-memory arrays.
+
+    Parameters
+    ----------
+    images:
+        Array of shape (N, C, H, W), float32 in [0, 1].
+    labels:
+        Integer array of shape (N,).
+    """
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray) -> None:
+        images = np.asarray(images, dtype=np.float32)
+        labels = np.asarray(labels, dtype=np.int64)
+        if images.ndim != 4:
+            raise ValueError(f"images must be NCHW, got shape {images.shape}")
+        if len(images) != len(labels):
+            raise ValueError(
+                f"images ({len(images)}) and labels ({len(labels)}) length mismatch"
+            )
+        self.images = images
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.images[index], int(self.labels[index])
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        """Return a new dataset restricted to ``indices``."""
+        indices = np.asarray(indices)
+        return ArrayDataset(self.images[indices], self.labels[indices])
+
+    def sample(self, count: int, rng: SeedLike = None) -> "ArrayDataset":
+        """Randomly sample ``count`` items without replacement."""
+        rng = new_rng(rng)
+        if count > len(self):
+            raise ValueError(f"cannot sample {count} items from {len(self)}")
+        return self.subset(rng.choice(len(self), size=count, replace=False))
+
+
+class DataLoader:
+    """Iterate a dataset in (optionally shuffled) mini-batches of arrays."""
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        rng: SeedLike = None,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = new_rng(rng)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, n, self.batch_size):
+            batch = order[start : start + self.batch_size]
+            if self.drop_last and len(batch) < self.batch_size:
+                break
+            yield self.dataset.images[batch], self.dataset.labels[batch]

@@ -1,0 +1,23 @@
+"""Countermeasures evaluated in Section VI of the paper."""
+
+from repro.defenses.binarization import BinarizedConv2d, BinarizedLinear, binarize_network
+from repro.defenses.clustering import pwc_penalty, train_with_pwc
+from repro.defenses.deepdyve import DeepDyveGuard
+from repro.defenses.weight_encoding import WeightEncodingDetector, encoding_overhead_estimate
+from repro.defenses.radar import RadarDetector
+from repro.defenses.sentinet import SentiNetDetector
+from repro.defenses.reconstruction import WeightReconstructionDefense
+
+__all__ = [
+    "BinarizedConv2d",
+    "BinarizedLinear",
+    "binarize_network",
+    "pwc_penalty",
+    "train_with_pwc",
+    "DeepDyveGuard",
+    "WeightEncodingDetector",
+    "encoding_overhead_estimate",
+    "RadarDetector",
+    "SentiNetDetector",
+    "WeightReconstructionDefense",
+]

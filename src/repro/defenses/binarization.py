@@ -1,0 +1,94 @@
+"""Binarization-aware training (He et al. 2020) -- a prevention defense.
+
+Binarized layers compute with ``sign(w) * mean|w|`` so every weight is one
+bit in memory.  Against this attack the defense works by *shrinking the
+weight file*: a binarized ResNet-32 occupies only ~65 pages, and since
+constraint C2 caps N_flip at the page count, the attacker's budget collapses
+(Section VI-A).  The cost is reduced clean accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autodiff.tensor import Function, Tensor
+from repro.autodiff.conv import conv2d
+from repro.nn import Conv2d, Linear, Module
+from repro.nn.module import Parameter
+from repro.quant.weightfile import PAGE_SIZE_BYTES
+
+
+class _BinarizeSTE(Function):
+    """Per-tensor weight binarization with a straight-through estimator."""
+
+    def forward(self, w: np.ndarray) -> np.ndarray:
+        scale = np.mean(np.abs(w))
+        self.save_for_backward(w)
+        return (np.where(w >= 0, 1.0, -1.0) * scale).astype(w.dtype)
+
+    def backward(self, grad: np.ndarray):
+        (w,) = self.saved
+        # Straight-through: pass gradients where |w| <= 1, as in BNN training.
+        return (grad * (np.abs(w) <= 1.0),)
+
+
+def binarize_weights(weight: Tensor) -> Tensor:
+    """Differentiable binarization of a weight tensor (STE backward)."""
+    return _BinarizeSTE.apply(weight)
+
+
+class BinarizedConv2d(Conv2d):
+    """Conv2d whose effective weights are binarized at every forward pass."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv2d(
+            x, binarize_weights(self.weight), self.bias, stride=self.stride, padding=self.padding
+        )
+
+
+class BinarizedLinear(Linear):
+    """Linear layer with binarized effective weights."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ binarize_weights(self.weight).transpose()
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+def binarize_network(model: Module) -> int:
+    """Swap every Conv2d/Linear in ``model`` for its binarized variant.
+
+    Mutates the module tree in place (parameters are preserved) and returns
+    the number of layers converted.
+    """
+    converted = 0
+    for _, module in model.named_modules():
+        for child_name, child in list(module._modules.items()):
+            replacement: Optional[Module] = None
+            if type(child) is Conv2d:
+                replacement = BinarizedConv2d.__new__(BinarizedConv2d)
+            elif type(child) is Linear:
+                replacement = BinarizedLinear.__new__(BinarizedLinear)
+            if replacement is None:
+                continue
+            replacement.__dict__.update(child.__dict__)
+            replacement._parameters = child._parameters
+            replacement._modules = child._modules
+            replacement._buffers = child._buffers
+            setattr(module, child_name, replacement)
+            converted += 1
+    return converted
+
+
+def binarized_page_count(model: Module) -> int:
+    """Memory pages a deployed binarized model occupies (1 bit per weight).
+
+    This is the defense's security argument: N_flip cannot exceed the page
+    count, and binarization divides the page count by 8.
+    """
+    bits = model.num_parameters()  # one bit per binarized weight
+    page_bits = PAGE_SIZE_BYTES * 8
+    return (bits + page_bits - 1) // page_bits

@@ -1,0 +1,63 @@
+"""DeepDyve (Li et al. 2020) -- dynamic verification with a checker model.
+
+A small checker model shadows the deployed model; disagreement triggers a
+re-run of the original.  The scheme assumes faults are *transient*, but
+Rowhammer flips persist in the page cache, so the re-run consults the same
+corrupted weights and the backdoor survives (Section VI-B): DeepDyve raises
+alarms yet still emits the attacker's target class.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+from repro.autodiff import no_grad
+from repro.autodiff.tensor import Tensor
+from repro.nn.module import Module
+
+
+@dataclasses.dataclass
+class DeepDyveStats:
+    """Bookkeeping of one guarded inference batch."""
+
+    alarms: int
+    reruns: int
+    total: int
+
+    @property
+    def alarm_rate(self) -> float:
+        return self.alarms / self.total if self.total else 0.0
+
+
+class DeepDyveGuard:
+    """Wraps a deployed model with a checker for dynamic verification."""
+
+    def __init__(self, deployed: Module, checker: Module) -> None:
+        self.deployed = deployed
+        self.checker = checker
+
+    def predict(self, images: np.ndarray) -> Tuple[np.ndarray, DeepDyveStats]:
+        """Guarded batch prediction.
+
+        For each sample: if checker and deployed agree, accept immediately;
+        otherwise raise an alarm and re-run the deployed model, accepting
+        the second result (the protocol from the paper).  Because the fault
+        is persistent, the re-run reproduces the corrupted prediction.
+        """
+        self.deployed.eval()
+        self.checker.eval()
+        with no_grad():
+            main = self.deployed(Tensor(images)).numpy().argmax(axis=1)
+            check = self.checker(Tensor(images)).numpy().argmax(axis=1)
+            disagree = main != check
+            reruns = int(disagree.sum())
+            if reruns:
+                # Re-run the deployed model on the disputed samples.  The
+                # weights in memory are unchanged, so the result is too.
+                rerun = self.deployed(Tensor(images[disagree])).numpy().argmax(axis=1)
+                main = main.copy()
+                main[disagree] = rerun
+        return main, DeepDyveStats(alarms=reruns, reruns=reruns, total=len(images))

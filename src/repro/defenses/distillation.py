@@ -1,0 +1,101 @@
+"""Checker-model distillation for DeepDyve.
+
+DeepDyve deploys a much smaller checker model distilled from the original:
+it must agree with the deployed model on (nearly) all clean inputs while
+costing a fraction of the compute.  This module trains such a checker by
+matching the deployed model's soft predictions (temperature-scaled
+distillation), then wraps both in a :class:`~repro.defenses.deepdyve.DeepDyveGuard`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.autodiff import log_softmax, no_grad
+from repro.autodiff.tensor import Tensor
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.defenses.deepdyve import DeepDyveGuard
+from repro.nn.module import Module
+from repro.optim import Adam
+from repro.utils.rng import SeedLike
+
+
+def soft_cross_entropy(student_logits: Tensor, teacher_probs: np.ndarray) -> Tensor:
+    """Mean cross-entropy against soft teacher targets."""
+    log_probs = log_softmax(student_logits)
+    targets = Tensor(np.asarray(teacher_probs, dtype=np.float32))
+    return -(targets * log_probs).sum(axis=1).mean()
+
+
+def distill_checker(
+    teacher: Module,
+    student: Module,
+    data: ArrayDataset,
+    epochs: int = 5,
+    temperature: float = 2.0,
+    learning_rate: float = 1e-3,
+    batch_size: int = 32,
+    rng: SeedLike = 0,
+) -> List[float]:
+    """Distill ``teacher``'s behaviour into the (smaller) ``student``.
+
+    Returns per-epoch distillation losses.  The teacher is only queried
+    (never updated); the student trains on the teacher's temperature-scaled
+    soft predictions over ``data``.
+    """
+    teacher.eval()
+    with no_grad():
+        logits = []
+        for start in range(0, len(data), 256):
+            logits.append(teacher(Tensor(data.images[start : start + 256])).numpy())
+        teacher_logits = np.concatenate(logits) / temperature
+    shifted = teacher_logits - teacher_logits.max(axis=1, keepdims=True)
+    teacher_probs = np.exp(shifted)
+    teacher_probs /= teacher_probs.sum(axis=1, keepdims=True)
+
+    optimizer = Adam(student.parameters(), lr=learning_rate)
+    # Batches carry sample indices so each image pairs with its soft target.
+    index_dataset = ArrayDataset(data.images, np.arange(len(data)))
+    loader = DataLoader(index_dataset, batch_size=batch_size, shuffle=True, rng=rng)
+
+    history: List[float] = []
+    for _ in range(epochs):
+        student.train()
+        total = 0.0
+        for images, indices in loader:
+            optimizer.zero_grad()
+            loss = soft_cross_entropy(student(Tensor(images)), teacher_probs[indices])
+            loss.backward()
+            optimizer.step()
+            total += loss.item()
+        history.append(total / max(1, len(loader)))
+    student.eval()
+    return history
+
+
+def agreement_rate(a: Module, b: Module, data: ArrayDataset, batch_size: int = 256) -> float:
+    """Fraction of inputs on which two models predict the same class."""
+    a.eval()
+    b.eval()
+    agree = 0
+    with no_grad():
+        for start in range(0, len(data), batch_size):
+            images = Tensor(data.images[start : start + batch_size])
+            agree += int(
+                (a(images).numpy().argmax(1) == b(images).numpy().argmax(1)).sum()
+            )
+    return agree / len(data) if len(data) else 0.0
+
+
+def build_deepdyve_guard(
+    deployed: Module,
+    checker: Module,
+    calibration_data: ArrayDataset,
+    epochs: int = 5,
+    rng: SeedLike = 0,
+) -> DeepDyveGuard:
+    """Distill ``checker`` from ``deployed`` and wrap both in a guard."""
+    distill_checker(deployed, checker, calibration_data, epochs=epochs, rng=rng)
+    return DeepDyveGuard(deployed=deployed, checker=checker)

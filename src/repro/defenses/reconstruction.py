@@ -1,0 +1,91 @@
+"""Weight Reconstruction (Li et al., DAC 2020) -- a recovery defense.
+
+At deployment time the defense records per-output-group statistics of every
+weight tensor; after a suspected fault it clips each weight back into its
+group's plausible range, redistributing a bit flip's large deviation across
+the group.  Section VI-C evaluates two attacker postures:
+
+- *unaware*: the attack optimizes against the undefended model and the
+  reconstruction afterwards clips its flips, collapsing ASR;
+- *aware*: the attack applies the reconstruction inside its own loop (this
+  module's ``constrain_attack`` hook), so it only keeps flips that survive
+  clipping -- and bypasses the defense.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import DefenseError
+from repro.quant.qmodel import QuantizedModel
+
+
+@dataclasses.dataclass(frozen=True)
+class GroupStats:
+    """Clipping interval of one weight group."""
+
+    low: np.ndarray
+    high: np.ndarray
+
+
+class WeightReconstructionDefense:
+    """Per-group clipping reconstruction over quantized weights."""
+
+    def __init__(self, qmodel: QuantizedModel, num_sigmas: float = 3.0) -> None:
+        """Fit group statistics on the clean deployed weights.
+
+        Groups are per output row/filter (axis 0) of each tensor; the
+        plausible interval is mean +/- ``num_sigmas`` standard deviations,
+        in the integer weight domain.
+        """
+        if num_sigmas <= 0:
+            raise DefenseError(f"num_sigmas must be positive, got {num_sigmas}")
+        self.num_sigmas = num_sigmas
+        self._stats: Dict[str, GroupStats] = {}
+        for name in qmodel.parameter_names:
+            weights = qmodel.quantized(name).astype(np.float64)
+            grouped = weights.reshape(weights.shape[0], -1) if weights.ndim > 1 else weights[None, :]
+            mean = grouped.mean(axis=1)
+            std = grouped.std(axis=1)
+            self._stats[name] = GroupStats(
+                low=mean - num_sigmas * std, high=mean + num_sigmas * std
+            )
+
+    def reconstruct(self, qmodel: QuantizedModel) -> int:
+        """Clip out-of-range weights in place; returns how many were clipped."""
+        clipped = 0
+        for name in qmodel.parameter_names:
+            weights = qmodel.quantized(name).astype(np.float64)
+            original_shape = weights.shape
+            grouped = weights.reshape(weights.shape[0], -1) if weights.ndim > 1 else weights[None, :]
+            stats = self._stats[name]
+            low = stats.low[:, None]
+            high = stats.high[:, None]
+            out_of_range = (grouped < low) | (grouped > high)
+            if out_of_range.any():
+                clipped += int(out_of_range.sum())
+                grouped = np.clip(grouped, low, high)
+                qmodel.set_quantized(
+                    name, np.round(grouped).reshape(original_shape).astype(np.int8)
+                )
+        return clipped
+
+    def survives(self, qmodel: QuantizedModel, name: str) -> np.ndarray:
+        """Boolean map of which current weights are inside their group range."""
+        weights = qmodel.quantized(name).astype(np.float64)
+        grouped = weights.reshape(weights.shape[0], -1) if weights.ndim > 1 else weights[None, :]
+        stats = self._stats[name]
+        inside = (grouped >= stats.low[:, None]) & (grouped <= stats.high[:, None])
+        return inside.reshape(weights.shape)
+
+    def constrain_attack(self, qmodel: QuantizedModel) -> int:
+        """Defense-aware attack hook: apply reconstruction mid-optimization.
+
+        Calling this after each attack projection makes the optimizer route
+        around the clipping (only in-range flips persist), which is exactly
+        the paper's "attacker is aware of the defense" scenario.
+        """
+        return self.reconstruct(qmodel)

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the library raises with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ShapeError(ReproError):
+    """A tensor operation received operands with incompatible shapes."""
+
+
+class GradientError(ReproError):
+    """Backpropagation was requested in an invalid state."""
+
+
+class QuantizationError(ReproError):
+    """Quantization or bit-level manipulation failed."""
+
+
+class MemoryModelError(ReproError):
+    """The DRAM/OS memory simulation was driven into an invalid state."""
+
+
+class RowhammerError(ReproError):
+    """A Rowhammer profiling or hammering operation failed."""
+
+
+class AttackError(ReproError):
+    """An attack was configured or executed incorrectly."""
+
+
+class DefenseError(ReproError):
+    """A defense was configured or executed incorrectly."""

@@ -1,0 +1,10 @@
+"""Alternative fault-injection mechanisms evaluated by the paper.
+
+Rowhammer is the paper's main vector; Appendix F also evaluates Plundervolt
+(CPU undervolting) and reports a *negative result* for DNN inference, which
+:mod:`repro.faults.plundervolt` reproduces.
+"""
+
+from repro.faults.plundervolt import PlundervoltCPU, UndervoltConfig
+
+__all__ = ["PlundervoltCPU", "UndervoltConfig"]

@@ -1,0 +1,188 @@
+"""The DRAM array simulator: data storage plus vulnerable-cell physics.
+
+Vulnerable cells are the core physical fact the paper's constraints derive
+from: only ~0.036 % of cells are flippable at all, each cell flips in exactly
+one direction, and flips are sparse and uniformly scattered (Fig. 2).  Each
+simulated device draws its cells deterministically from a seed, with density
+set by the device's measured flips-per-page average (Table I).
+
+A cell also carries a *strength* in (0, 1]: hammering with more aggressor
+rows reaches weaker cells (higher strength threshold), which reproduces the
+n-sided yield curve of Fig. 5 and the 15- vs 7-sided trade-off of Fig. 6.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import MemoryModelError
+from repro.memory.geometry import DRAMGeometry, PAGE_FRAME_SIZE
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclasses.dataclass(frozen=True)
+class VulnerableCell:
+    """One Rowhammer-flippable DRAM cell.
+
+    Attributes
+    ----------
+    column:
+        Byte offset within the row.
+    bit:
+        Bit within the byte (0 = LSB).
+    direction:
+        +1: the cell can only flip 0 -> 1; -1: only 1 -> 0.
+    strength:
+        Hammer intensity in (0, 1] needed to flip the cell; stronger
+        (more-sided) hammer patterns reach higher-strength cells.
+    """
+
+    column: int
+    bit: int
+    direction: int
+    strength: float
+
+
+class DRAMArray:
+    """A simulated DRAM device with lazily materialized rows and faults.
+
+    Parameters
+    ----------
+    geometry:
+        Bank/row shape of the device.
+    flips_per_page_mean:
+        Average number of vulnerable cells per 4 KB page (Table I column).
+    seed:
+        Seed fixing the device's fault map; two arrays with the same seed
+        and parameters have identical vulnerable cells (it is a *device*
+        property, stable across profiling and attack runs).
+    """
+
+    def __init__(
+        self,
+        geometry: DRAMGeometry,
+        flips_per_page_mean: float,
+        seed: SeedLike = 0,
+    ) -> None:
+        if flips_per_page_mean < 0:
+            raise MemoryModelError(
+                f"flips_per_page_mean must be non-negative, got {flips_per_page_mean}"
+            )
+        self.geometry = geometry
+        self.flips_per_page_mean = float(flips_per_page_mean)
+        root = new_rng(seed)
+        self._device_seed = int(root.integers(0, 2**63))
+        self._rows: Dict[Tuple[int, int], np.ndarray] = {}
+        self._cells: Dict[Tuple[int, int], List[VulnerableCell]] = {}
+
+    # ------------------------------------------------------------------
+    # Data storage
+    # ------------------------------------------------------------------
+    def _row_data(self, bank: int, row: int) -> np.ndarray:
+        key = (bank, row)
+        data = self._rows.get(key)
+        if data is None:
+            data = np.zeros(self.geometry.row_size_bytes, dtype=np.uint8)
+            self._rows[key] = data
+        return data
+
+    def write_bytes(self, phys_addr: int, payload: np.ndarray) -> None:
+        """Write raw bytes starting at a physical address (may span rows)."""
+        payload = np.asarray(payload, dtype=np.uint8)
+        cursor = 0
+        while cursor < payload.size:
+            address = self.geometry.address_of(phys_addr + cursor)
+            row = self._row_data(address.bank, address.row)
+            room = self.geometry.row_size_bytes - address.column
+            take = min(room, payload.size - cursor)
+            row[address.column : address.column + take] = payload[cursor : cursor + take]
+            cursor += take
+
+    def read_bytes(self, phys_addr: int, count: int) -> np.ndarray:
+        """Read raw bytes starting at a physical address (may span rows)."""
+        out = np.empty(count, dtype=np.uint8)
+        cursor = 0
+        while cursor < count:
+            address = self.geometry.address_of(phys_addr + cursor)
+            row = self._row_data(address.bank, address.row)
+            room = self.geometry.row_size_bytes - address.column
+            take = min(room, count - cursor)
+            out[cursor : cursor + take] = row[address.column : address.column + take]
+            cursor += take
+        return out
+
+    def write_frame(self, frame: int, payload: np.ndarray) -> None:
+        """Write a full 4 KB page frame."""
+        payload = np.asarray(payload, dtype=np.uint8)
+        if payload.size != PAGE_FRAME_SIZE:
+            raise MemoryModelError(
+                f"frame payload must be {PAGE_FRAME_SIZE} bytes, got {payload.size}"
+            )
+        self.write_bytes(frame * PAGE_FRAME_SIZE, payload)
+
+    def read_frame(self, frame: int) -> np.ndarray:
+        """Read a full 4 KB page frame."""
+        return self.read_bytes(frame * PAGE_FRAME_SIZE, PAGE_FRAME_SIZE)
+
+    # ------------------------------------------------------------------
+    # Fault map
+    # ------------------------------------------------------------------
+    def vulnerable_cells(self, bank: int, row: int) -> List[VulnerableCell]:
+        """Deterministic vulnerable-cell list for one row (lazily drawn)."""
+        key = (bank, row)
+        cells = self._cells.get(key)
+        if cells is None:
+            rng = new_rng(np.random.SeedSequence([self._device_seed, bank, row]))
+            expected = self.flips_per_page_mean * self.geometry.pages_per_row
+            count = int(rng.poisson(expected))
+            cells = []
+            seen = set()
+            for _ in range(count):
+                column = int(rng.integers(0, self.geometry.row_size_bytes))
+                bit = int(rng.integers(0, 8))
+                if (column, bit) in seen:
+                    # A physical cell has exactly one flip direction; skip
+                    # the (rare) duplicate draw.
+                    continue
+                seen.add((column, bit))
+                cells.append(
+                    VulnerableCell(
+                        column=column,
+                        bit=bit,
+                        direction=1 if rng.random() < 0.5 else -1,
+                        strength=float(rng.uniform(0.0, 1.0)),
+                    )
+                )
+            self._cells[key] = cells
+        return cells
+
+    def hammer_row(self, bank: int, row: int, intensity: float) -> List[Tuple[int, int, int]]:
+        """Disturb one victim row with the given hammer intensity.
+
+        Every vulnerable cell with ``strength <= intensity`` whose stored bit
+        currently opposes its flip direction is flipped in place.  Returns
+        the flips as (column, bit, direction) tuples.
+        """
+        if intensity <= 0:
+            return []
+        data = self._row_data(bank, row)
+        flipped: List[Tuple[int, int, int]] = []
+        for cell in self.vulnerable_cells(bank, row):
+            if cell.strength > intensity:
+                continue
+            mask = np.uint8(1 << cell.bit)
+            current = bool(data[cell.column] & mask)
+            if cell.direction == 1 and not current:
+                data[cell.column] |= mask
+                flipped.append((cell.column, cell.bit, 1))
+            elif cell.direction == -1 and current:
+                data[cell.column] = np.uint8(data[cell.column] & ~mask)
+                flipped.append((cell.column, cell.bit, -1))
+        return flipped
+
+    def observed_flip_fraction(self) -> float:
+        """Fraction of cells that are vulnerable (for Fig. 2's 0.036 %)."""
+        return self.flips_per_page_mean / (PAGE_FRAME_SIZE * 8)

@@ -1,0 +1,49 @@
+"""Per-CPU page-frame cache model (Linux first-in-last-out reallocation).
+
+The Linux kernel keeps recently freed page frames in a per-CPU cache and
+hands them back to the next allocation in FILO order.  The online attack
+(Section IV-B1) exploits this: by unmapping frames in a chosen order, the
+attacker fully controls which physical frames back the victim's weight-file
+pages when the file is mapped next.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.errors import MemoryModelError
+
+
+class PageFrameCache:
+    """FILO stack of free physical page frames."""
+
+    def __init__(self, initial_free: Optional[Iterable[int]] = None) -> None:
+        self._stack: List[int] = list(initial_free) if initial_free is not None else []
+        self._members = set(self._stack)
+        if len(self._members) != len(self._stack):
+            raise MemoryModelError("initial free list contains duplicate frames")
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def release(self, frame: int) -> None:
+        """Push a freed frame (munmap)."""
+        if frame in self._members:
+            raise MemoryModelError(f"frame {frame} released twice")
+        self._stack.append(frame)
+        self._members.add(frame)
+
+    def allocate(self) -> int:
+        """Pop the most recently freed frame (mmap fault)."""
+        if not self._stack:
+            raise MemoryModelError("page frame cache exhausted")
+        frame = self._stack.pop()
+        self._members.remove(frame)
+        return frame
+
+    def peek_allocation_order(self) -> List[int]:
+        """Frames in the order future allocations will receive them."""
+        return list(reversed(self._stack))
+
+    def contains(self, frame: int) -> bool:
+        return frame in self._members

@@ -1,0 +1,71 @@
+"""Huge-page fragmentation analysis (Section VIII).
+
+The paper argues huge pages do not defeat the attack: even a 2 MB huge page
+is fragmented by the memory controller into fixed-size row chunks spread
+across banks.  With 64 banks, a 2 MB page becomes 64 chunks of 4 DRAM rows;
+with more DIMMs/ranks the chunks shrink toward a single row, where ordinary
+double-/n-sided hammering applies unchanged.  An attacker can still profile
+the huge page at 4 KB granularity (512 flips in 2 MB stay practical).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.memory.geometry import DRAMGeometry, PAGE_FRAME_SIZE
+
+HUGE_PAGE_BYTES = 2 * 1024 * 1024
+
+
+@dataclasses.dataclass(frozen=True)
+class HugePageFragmentation:
+    """How one huge page scatters over the DRAM array."""
+
+    num_chunks: int
+    rows_per_chunk: int
+    chunk_bytes: int
+    banks_touched: int
+
+    @property
+    def single_row_chunks(self) -> bool:
+        """True when chunks shrink to one row (regular hammering applies)."""
+        return self.rows_per_chunk <= 1
+
+
+def fragment_huge_page(
+    geometry: DRAMGeometry, huge_page_bytes: int = HUGE_PAGE_BYTES
+) -> HugePageFragmentation:
+    """Fragment a huge page across the banks of ``geometry``.
+
+    Consecutive row-sized chunks rotate across banks (the controller's
+    interleaving), so a huge page of B banks' worth of rows yields B chunks
+    of ``huge_page / (B * row_size)`` rows each.
+    """
+    if huge_page_bytes % geometry.row_size_bytes != 0:
+        raise ValueError(
+            f"huge page ({huge_page_bytes}) must be a multiple of the row size "
+            f"({geometry.row_size_bytes})"
+        )
+    total_rows = huge_page_bytes // geometry.row_size_bytes
+    banks_touched = min(geometry.num_banks, total_rows)
+    rows_per_chunk = max(1, total_rows // geometry.num_banks)
+    return HugePageFragmentation(
+        num_chunks=banks_touched,
+        rows_per_chunk=rows_per_chunk,
+        chunk_bytes=rows_per_chunk * geometry.row_size_bytes,
+        banks_touched=banks_touched,
+    )
+
+
+def profilable_4k_pages(huge_page_bytes: int = HUGE_PAGE_BYTES) -> int:
+    """4 KB-granularity pages the attacker can still profile in a huge page."""
+    return huge_page_bytes // PAGE_FRAME_SIZE
+
+
+def expected_flips_in_huge_page(
+    flips_per_4k_page: float, huge_page_bytes: int = HUGE_PAGE_BYTES
+) -> float:
+    """Expected usable flips inside one huge page (paper: ~512 bits in 2 MB
+    at the reference density -- 'still practical')."""
+    return flips_per_4k_page * profilable_4k_pages(huge_page_bytes)

@@ -1,0 +1,182 @@
+"""The OS memory-management model: mmap, munmap, page cache and bait pages.
+
+This reproduces the online attack's page-placement mechanics (Section IV-B):
+
+1. the attacker maps an anonymous buffer covering ``baitPages + flippyPages``
+   physical frames,
+2. unmaps the flippy frame(s) and then the bait pages one by one (Listing 1),
+   filling the per-CPU frame cache in a chosen order,
+3. the victim's weight file is mapped next; the kernel pops frames FILO, so
+   the *first* file pages land on the *last* released frames (Figure 4),
+   placing each target page exactly on its matching flippy frame.
+
+File pages stay in the page cache after munmap/close; Rowhammer flips the
+cached copies directly in DRAM without setting the dirty bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import MemoryModelError
+from repro.memory.dram import DRAMArray
+from repro.memory.frame_cache import PageFrameCache
+from repro.memory.geometry import PAGE_FRAME_SIZE
+from repro.memory.page_cache import PageCache
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclasses.dataclass
+class MappedFile:
+    """A virtual mapping: virtual page index -> physical frame."""
+
+    file_id: Optional[str]
+    frames: Dict[int, int]
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.frames)
+
+    def frame_of(self, page_index: int) -> int:
+        try:
+            return self.frames[page_index]
+        except KeyError:
+            raise MemoryModelError(f"page {page_index} is not mapped") from None
+
+
+class OSMemoryModel:
+    """Simulated OS view over one DRAM device.
+
+    Frames are handed out from a free pool in shuffled order (fresh boot),
+    then recycled through the FILO :class:`PageFrameCache` exactly as the
+    Linux per-CPU cache does.
+    """
+
+    def __init__(self, dram: DRAMArray, rng: SeedLike = 0) -> None:
+        self.dram = dram
+        self.page_cache = PageCache()
+        self.frame_cache = PageFrameCache()
+        self._files: Dict[str, np.ndarray] = {}
+        free = np.arange(dram.geometry.total_frames)
+        new_rng(rng).shuffle(free)
+        self._free_pool: List[int] = free.tolist()
+        self._mapped_frames: set = set()
+
+    # ------------------------------------------------------------------
+    # Simulated disk
+    # ------------------------------------------------------------------
+    def register_file(self, file_id: str, content: bytes) -> None:
+        """Place a file on the simulated secondary storage."""
+        if file_id in self._files:
+            raise MemoryModelError(f"file {file_id!r} already registered")
+        self._files[file_id] = np.frombuffer(content, dtype=np.uint8).copy()
+
+    def file_num_pages(self, file_id: str) -> int:
+        content = self._file(file_id)
+        return (content.size + PAGE_FRAME_SIZE - 1) // PAGE_FRAME_SIZE
+
+    def _file(self, file_id: str) -> np.ndarray:
+        try:
+            return self._files[file_id]
+        except KeyError:
+            raise MemoryModelError(f"file {file_id!r} is not registered") from None
+
+    def _file_page(self, file_id: str, page_index: int) -> np.ndarray:
+        content = self._file(file_id)
+        start = page_index * PAGE_FRAME_SIZE
+        page = np.zeros(PAGE_FRAME_SIZE, dtype=np.uint8)
+        chunk = content[start : start + PAGE_FRAME_SIZE]
+        page[: chunk.size] = chunk
+        return page
+
+    # ------------------------------------------------------------------
+    # Frame allocation
+    # ------------------------------------------------------------------
+    def _allocate_frame(self) -> int:
+        # The per-CPU cache is consulted before the buddy allocator.
+        if len(self.frame_cache):
+            frame = self.frame_cache.allocate()
+        elif self._free_pool:
+            frame = self._free_pool.pop()
+        else:
+            raise MemoryModelError("out of physical memory")
+        self._mapped_frames.add(frame)
+        return frame
+
+    # ------------------------------------------------------------------
+    # mmap / munmap
+    # ------------------------------------------------------------------
+    def mmap_anonymous(self, num_pages: int) -> MappedFile:
+        """Map zero-filled anonymous memory (the attacker's buffer)."""
+        if num_pages <= 0:
+            raise MemoryModelError(f"num_pages must be positive, got {num_pages}")
+        frames: Dict[int, int] = {}
+        zero = np.zeros(PAGE_FRAME_SIZE, dtype=np.uint8)
+        for page in range(num_pages):
+            frame = self._allocate_frame()
+            self.dram.write_frame(frame, zero)
+            frames[page] = frame
+        return MappedFile(file_id=None, frames=frames)
+
+    def mmap_file(self, file_id: str) -> MappedFile:
+        """Map a file; page-cache hits reuse their existing frames."""
+        num_pages = self.file_num_pages(file_id)
+        frames: Dict[int, int] = {}
+        for page in range(num_pages):
+            cached = self.page_cache.lookup(file_id, page)
+            if cached is not None:
+                frames[page] = cached
+                continue
+            frame = self._allocate_frame()
+            self.dram.write_frame(frame, self._file_page(file_id, page))
+            self.page_cache.insert(file_id, page, frame)
+            frames[page] = frame
+        return MappedFile(file_id=file_id, frames=frames)
+
+    def munmap_page(self, mapping: MappedFile, page_index: int) -> None:
+        """Unmap a single page of a mapping (Listing 1 operates page-wise).
+
+        Anonymous frames return to the FILO frame cache immediately.
+        File-backed frames stay pinned by the page cache (the cached copy
+        survives the unmap -- the property the whole attack rests on).
+        """
+        frame = mapping.frame_of(page_index)
+        del mapping.frames[page_index]
+        if mapping.file_id is None:
+            self._mapped_frames.discard(frame)
+            self.frame_cache.release(frame)
+        # else: frame ownership moves fully to the page cache.
+
+    def munmap(self, mapping: MappedFile) -> None:
+        """Unmap every page of a mapping (ascending page order)."""
+        for page in sorted(mapping.frames):
+            self.munmap_page(mapping, page)
+
+    def drop_file_cache(self, file_id: str) -> None:
+        """Evict a file from the page cache, releasing its frames."""
+        for page, frame in sorted(self.page_cache.cached_pages(file_id).items()):
+            self.page_cache.evict(file_id, page)
+            self._mapped_frames.discard(frame)
+            self.frame_cache.release(frame)
+
+    # ------------------------------------------------------------------
+    # Access through a mapping
+    # ------------------------------------------------------------------
+    def read_page(self, mapping: MappedFile, page_index: int) -> np.ndarray:
+        """Read one mapped page straight from DRAM (sees Rowhammer flips)."""
+        return self.dram.read_frame(mapping.frame_of(page_index))
+
+    def read_mapping(self, mapping: MappedFile) -> bytes:
+        """Read the whole mapping in virtual-page order."""
+        parts = [self.read_page(mapping, page) for page in sorted(mapping.frames)]
+        return b"".join(p.tobytes() for p in parts)
+
+    def write_page(self, mapping: MappedFile, page_index: int, payload: np.ndarray) -> None:
+        """CPU-side write through a mapping (sets the dirty bit for files)."""
+        frame = mapping.frame_of(page_index)
+        self.dram.write_frame(frame, payload)
+        if mapping.file_id is not None:
+            self.page_cache.mark_dirty(mapping.file_id, page_index)

@@ -1,0 +1,60 @@
+"""OS page cache model.
+
+When a file is read or mapped, its pages are loaded into page-cache frames
+and *stay there* after the file is closed (Section IV-B).  Rowhammer corrupts
+the cached copy directly in DRAM; because the OS never observes a write, the
+dirty bit stays clear, nothing is written back, and every subsequent reader
+receives the corrupted cached page -- which is exactly why the attack is
+stealthy and why it persists until the file is evicted or reloaded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import MemoryModelError
+
+
+class PageCache:
+    """Maps (file_id, page_index) -> physical frame for cached file pages."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, int], int] = {}
+        self._dirty: Dict[Tuple[str, int], bool] = {}
+
+    def insert(self, file_id: str, page_index: int, frame: int) -> None:
+        key = (file_id, page_index)
+        if key in self._entries:
+            raise MemoryModelError(f"page {key} already cached in frame {self._entries[key]}")
+        self._entries[key] = frame
+        self._dirty[key] = False
+
+    def lookup(self, file_id: str, page_index: int) -> Optional[int]:
+        return self._entries.get((file_id, page_index))
+
+    def evict(self, file_id: str, page_index: int) -> int:
+        key = (file_id, page_index)
+        if key not in self._entries:
+            raise MemoryModelError(f"page {key} is not cached")
+        self._dirty.pop(key)
+        return self._entries.pop(key)
+
+    def evict_file(self, file_id: str) -> None:
+        """Drop every cached page of a file (e.g. echo 1 > drop_caches)."""
+        for key in [k for k in self._entries if k[0] == file_id]:
+            del self._entries[key]
+            del self._dirty[key]
+
+    def mark_dirty(self, file_id: str, page_index: int) -> None:
+        """Record a CPU-side write (Rowhammer flips never call this)."""
+        key = (file_id, page_index)
+        if key not in self._entries:
+            raise MemoryModelError(f"page {key} is not cached")
+        self._dirty[key] = True
+
+    def is_dirty(self, file_id: str, page_index: int) -> bool:
+        return self._dirty.get((file_id, page_index), False)
+
+    def cached_pages(self, file_id: str) -> Dict[int, int]:
+        """page_index -> frame map for one file."""
+        return {page: frame for (fid, page), frame in self._entries.items() if fid == file_id}

@@ -1,0 +1,146 @@
+"""Timing side channels used in the offline phase (Appendices B and C).
+
+SPOILER leaks the low 8 physical-address bits above the page offset through
+speculative load-store aliasing: scanning a big buffer, pages whose physical
+frame aliases the probe address show a latency peak, and within a physically
+contiguous region those peaks recur with an exact 256 KB (64-frame) period
+(Fig. 11).  The row-buffer-conflict channel then distinguishes same-bank
+addresses: accessing two rows of the same bank alternately forces row-buffer
+evictions, costing ~400 cycles instead of ~200 (Fig. 12).
+
+Both channels are simulated against the ground-truth frame layout of an
+:class:`~repro.memory.mmap.OSMemoryModel` mapping, with Gaussian measurement
+noise, and expose the same inference API an attacker implements on hardware.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.memory.geometry import DRAMGeometry
+from repro.memory.mmap import MappedFile
+from repro.utils.rng import SeedLike, new_rng
+
+SPOILER_PERIOD_FRAMES = 64  # 256 KB / 4 KB: the 8 leaked physical-address bits
+
+
+@dataclasses.dataclass
+class SpoilerChannel:
+    """Simulated SPOILER timing channel over a virtual buffer.
+
+    Attributes
+    ----------
+    base_latency / peak_latency:
+        Mean cycle counts for non-aliasing and aliasing pages.
+    noise_std:
+        Gaussian measurement noise (cycles); the real attack averages 100
+        measurements per page, which we mirror with ``repeats``.
+    """
+
+    base_latency: float = 250.0
+    peak_latency: float = 420.0
+    noise_std: float = 25.0
+    repeats: int = 100
+
+    def measure(self, mapping: MappedFile, rng: SeedLike = None) -> np.ndarray:
+        """Per-virtual-page averaged latencies (peaks mark aliasing frames)."""
+        rng = new_rng(rng)
+        pages = sorted(mapping.frames)
+        times = np.empty(len(pages), dtype=np.float64)
+        for i, page in enumerate(pages):
+            frame = mapping.frames[page]
+            mean = self.peak_latency if frame % SPOILER_PERIOD_FRAMES == 0 else self.base_latency
+            samples = rng.normal(mean, self.noise_std, size=self.repeats)
+            # Mirror the real implementation: drop outliers, then average.
+            low, high = np.percentile(samples, [5, 95])
+            kept = samples[(samples >= low) & (samples <= high)]
+            times[i] = kept.mean()
+        return times
+
+    def detect_peaks(self, times: np.ndarray) -> np.ndarray:
+        """Indices of aliasing pages: latency above the midpoint threshold."""
+        threshold = (self.base_latency + self.peak_latency) / 2.0
+        return np.nonzero(np.asarray(times) >= threshold)[0]
+
+    def find_contiguous_runs(self, times: np.ndarray) -> List[Tuple[int, int]]:
+        """Infer physically contiguous virtual ranges from peak periodicity.
+
+        Within contiguous physical memory the aliasing peaks are exactly
+        ``SPOILER_PERIOD_FRAMES`` pages apart; a broken period means a
+        physical discontinuity.  Returns (start_page, length) runs that are
+        contiguous with high confidence (spanning at least two peaks).
+        """
+        peaks = self.detect_peaks(times)
+        runs: List[Tuple[int, int]] = []
+        run_start: int | None = None
+        for prev, current in zip(peaks[:-1], peaks[1:]):
+            if current - prev == SPOILER_PERIOD_FRAMES:
+                if run_start is None:
+                    run_start = int(prev)
+            else:
+                if run_start is not None:
+                    runs.append((run_start, int(prev) - run_start + SPOILER_PERIOD_FRAMES))
+                run_start = None
+        if run_start is not None and len(peaks):
+            runs.append((run_start, int(peaks[-1]) - run_start + SPOILER_PERIOD_FRAMES))
+        return runs
+
+
+@dataclasses.dataclass
+class RowConflictChannel:
+    """Simulated DRAMA row-buffer-conflict channel.
+
+    Accessing two physical addresses alternately is slow (~400 cycles) when
+    they live in the same bank but different rows, because each access evicts
+    the other's row from the bank's row buffer.
+    """
+
+    geometry: DRAMGeometry
+    hit_latency: float = 200.0
+    conflict_latency: float = 400.0
+    noise_std: float = 15.0
+
+    def measure_pair(self, phys_a: int, phys_b: int, rng: SeedLike = None) -> float:
+        """Average alternating-access latency for two physical addresses."""
+        rng = new_rng(rng)
+        addr_a = self.geometry.address_of(phys_a)
+        addr_b = self.geometry.address_of(phys_b)
+        conflict = addr_a.bank == addr_b.bank and addr_a.row != addr_b.row
+        mean = self.conflict_latency if conflict else self.hit_latency
+        return float(rng.normal(mean, self.noise_std))
+
+    def same_bank(self, phys_a: int, phys_b: int, rng: SeedLike = None) -> bool:
+        """Classify a pair as same-bank from its measured latency."""
+        threshold = (self.hit_latency + self.conflict_latency) / 2.0
+        return self.measure_pair(phys_a, phys_b, rng) >= threshold
+
+    def bank_partition(
+        self, frames: Sequence[int], rng: SeedLike = None
+    ) -> Dict[int, List[int]]:
+        """Group page frames into inferred banks via pairwise conflicts.
+
+        Uses each frame's first byte as the probe address.  The returned
+        keys are arbitrary group ids (the attacker never learns real bank
+        numbers, only equivalence classes).
+        """
+        rng = new_rng(rng)
+        groups: Dict[int, List[int]] = {}
+        representatives: List[Tuple[int, int]] = []  # (group_id, frame)
+        next_group = 0
+        frame_bytes = self.geometry.row_size_bytes  # probe stride inside a row
+        for frame in frames:
+            phys = frame * 4096
+            placed = False
+            for group_id, representative in representatives:
+                if self.same_bank(representative * 4096, phys, rng):
+                    groups[group_id].append(frame)
+                    placed = True
+                    break
+            if not placed:
+                groups[next_group] = [frame]
+                representatives.append((next_group, frame))
+                next_group += 1
+        return groups

@@ -1,0 +1,30 @@
+"""Model zoo: the ResNet and VGG architectures evaluated in the paper."""
+
+from repro.models.resnet import (
+    BasicBlock,
+    Bottleneck,
+    ResNet,
+    resnet18,
+    resnet20,
+    resnet32,
+    resnet34,
+    resnet50,
+)
+from repro.models.vgg import VGG, vgg11, vgg16
+from repro.models.registry import MODEL_REGISTRY, build_model
+
+__all__ = [
+    "ResNet",
+    "BasicBlock",
+    "Bottleneck",
+    "resnet18",
+    "resnet20",
+    "resnet32",
+    "resnet34",
+    "resnet50",
+    "VGG",
+    "vgg11",
+    "vgg16",
+    "MODEL_REGISTRY",
+    "build_model",
+]

@@ -1,0 +1,31 @@
+"""Name-based model construction used by experiments and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.models.resnet import resnet18, resnet20, resnet32, resnet34, resnet50
+from repro.models.vgg import vgg11, vgg16
+from repro.nn.module import Module
+from repro.utils.rng import SeedLike
+
+MODEL_REGISTRY: Dict[str, Callable[..., Module]] = {
+    "resnet18": resnet18,
+    "resnet20": resnet20,
+    "resnet32": resnet32,
+    "resnet34": resnet34,
+    "resnet50": resnet50,
+    "vgg11": vgg11,
+    "vgg16": vgg16,
+}
+
+
+def build_model(name: str, num_classes: int = 10, width: float = 1.0, rng: SeedLike = None) -> Module:
+    """Construct a registered model by name."""
+    try:
+        factory = MODEL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}"
+        ) from None
+    return factory(num_classes=num_classes, width=width, rng=rng)

@@ -1,0 +1,181 @@
+"""ResNet architectures from the paper's evaluation.
+
+Two families are provided, matching the sources cited in Section V-A:
+
+- CIFAR-style ResNet-20/32 (Idelbayev's pytorch_resnet_cifar10): a 3x3 stem
+  with 16 channels and three stages of ``n`` basic blocks each.
+- ResNet-18/34/50 (torchvision-style, adapted to 32x32 inputs): four stages
+  of basic or bottleneck blocks starting at 64 channels.
+
+A ``width`` multiplier scales every stage's channel count so CPU-scale
+reproduction remains faithful in structure while staying trainable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Type, Union
+
+from repro.autodiff.tensor import Tensor
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.utils.rng import SeedLike, new_rng
+
+
+def _scaled(channels: int, width: float) -> int:
+    return max(4, int(round(channels * width)))
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with an identity or projection shortcut."""
+
+    expansion = 1
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int, rng) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        return (out + self.shortcut(x)).relu()
+
+
+class Bottleneck(Module):
+    """1x1 -> 3x3 -> 1x1 bottleneck block (ResNet-50 family)."""
+
+    expansion = 4
+
+    def __init__(self, in_channels: int, planes: int, stride: int, rng) -> None:
+        super().__init__()
+        out_channels = planes * self.expansion
+        self.conv1 = Conv2d(in_channels, planes, 1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(planes)
+        self.conv2 = Conv2d(planes, planes, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(planes)
+        self.conv3 = Conv2d(planes, out_channels, 1, bias=False, rng=rng)
+        self.bn3 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out)).relu()
+        out = self.bn3(self.conv3(out))
+        return (out + self.shortcut(x)).relu()
+
+
+class ResNet(Module):
+    """Generic ResNet over 32x32 inputs.
+
+    Parameters
+    ----------
+    block:
+        :class:`BasicBlock` or :class:`Bottleneck`.
+    stage_blocks:
+        Number of residual blocks per stage.
+    stage_channels:
+        Base channel count per stage (before the width multiplier).
+    num_classes:
+        Output dimension of the final linear classifier.
+    width:
+        Channel multiplier applied to every stage.
+    in_channels:
+        Input image channels.
+    """
+
+    def __init__(
+        self,
+        block: Type[Union[BasicBlock, Bottleneck]],
+        stage_blocks: Sequence[int],
+        stage_channels: Sequence[int],
+        num_classes: int = 10,
+        width: float = 1.0,
+        in_channels: int = 3,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if len(stage_blocks) != len(stage_channels):
+            raise ValueError("stage_blocks and stage_channels must have equal length")
+        rng = new_rng(rng)
+        stem_channels = _scaled(stage_channels[0], width)
+        self.conv1 = Conv2d(in_channels, stem_channels, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(stem_channels)
+
+        stages: List[Module] = []
+        current = stem_channels
+        for stage_index, (blocks, channels) in enumerate(zip(stage_blocks, stage_channels)):
+            planes = _scaled(channels, width)
+            stride = 1 if stage_index == 0 else 2
+            layers: List[Module] = []
+            for block_index in range(blocks):
+                layers.append(block(current, planes, stride if block_index == 0 else 1, rng))
+                current = planes * block.expansion
+            stages.append(Sequential(*layers))
+        self.stages = Sequential(*stages)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(current, num_classes, rng=rng)
+        self.num_classes = num_classes
+
+    def forward_features(self, x: Tensor) -> Tensor:
+        """Convolutional feature maps before pooling (used by GradCAM)."""
+        out = self.bn1(self.conv1(x)).relu()
+        return self.stages(out)
+
+    def forward_head(self, features: Tensor) -> Tensor:
+        """Classifier head on top of :meth:`forward_features` output."""
+        return self.fc(self.pool(features))
+
+    def forward_penultimate(self, x: Tensor) -> Tensor:
+        """The feature vector fed into the final classifier (TBT uses this)."""
+        return self.pool(self.forward_features(x))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.forward_head(self.forward_features(x))
+
+
+def resnet20(num_classes: int = 10, width: float = 1.0, rng: SeedLike = None) -> ResNet:
+    """CIFAR-style ResNet-20: 3 stages x 3 basic blocks, 16/32/64 channels."""
+    return ResNet(BasicBlock, [3, 3, 3], [16, 32, 64], num_classes, width, rng=rng)
+
+
+def resnet32(num_classes: int = 10, width: float = 1.0, rng: SeedLike = None) -> ResNet:
+    """CIFAR-style ResNet-32: 3 stages x 5 basic blocks."""
+    return ResNet(BasicBlock, [5, 5, 5], [16, 32, 64], num_classes, width, rng=rng)
+
+
+def resnet18(num_classes: int = 10, width: float = 1.0, rng: SeedLike = None) -> ResNet:
+    """ResNet-18 (torchvision layout, 32x32-adapted stem)."""
+    return ResNet(BasicBlock, [2, 2, 2, 2], [64, 128, 256, 512], num_classes, width, rng=rng)
+
+
+def resnet34(num_classes: int = 10, width: float = 1.0, rng: SeedLike = None) -> ResNet:
+    """ResNet-34 (torchvision layout, 32x32-adapted stem)."""
+    return ResNet(BasicBlock, [3, 4, 6, 3], [64, 128, 256, 512], num_classes, width, rng=rng)
+
+
+def resnet50(num_classes: int = 10, width: float = 1.0, rng: SeedLike = None) -> ResNet:
+    """ResNet-50 with bottleneck blocks (torchvision layout)."""
+    return ResNet(Bottleneck, [3, 4, 6, 3], [64, 128, 256, 512], num_classes, width, rng=rng)

@@ -1,0 +1,84 @@
+"""VGG-11/16 architectures (Section V-F generalization experiments)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+from repro.autodiff.tensor import Tensor
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.utils.rng import SeedLike, new_rng
+
+# Standard VGG stage configurations ("M" denotes 2x2 max pooling).
+_VGG_CONFIGS: Dict[str, List[Union[int, str]]] = {
+    "vgg11": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg16": [64, 64, "M", 128, 128, "M", 256, 256, 256, "M", 512, 512, 512, "M", 512, 512, 512, "M"],
+}
+
+
+def _scaled(channels: int, width: float) -> int:
+    return max(4, int(round(channels * width)))
+
+
+class VGG(Module):
+    """VGG with batch norm, global average pooling and a linear classifier."""
+
+    def __init__(
+        self,
+        config: Sequence[Union[int, str]],
+        num_classes: int = 10,
+        width: float = 1.0,
+        in_channels: int = 3,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        layers: List[Module] = []
+        current = in_channels
+        for item in config:
+            if item == "M":
+                layers.append(MaxPool2d(2))
+                continue
+            channels = _scaled(int(item), width)
+            layers.append(Conv2d(current, channels, 3, padding=1, bias=False, rng=rng))
+            layers.append(BatchNorm2d(channels))
+            layers.append(ReLU())
+            current = channels
+        self.features = Sequential(*layers)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(current, num_classes, rng=rng)
+        self.num_classes = num_classes
+
+    def forward_features(self, x: Tensor) -> Tensor:
+        """Convolutional feature maps before pooling (used by GradCAM)."""
+        return self.features(x)
+
+    def forward_head(self, features: Tensor) -> Tensor:
+        """Classifier head on top of :meth:`forward_features` output."""
+        return self.fc(self.pool(features))
+
+    def forward_penultimate(self, x: Tensor) -> Tensor:
+        """The feature vector fed into the final classifier (TBT uses this)."""
+        return self.pool(self.forward_features(x))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.forward_head(self.forward_features(x))
+
+
+def vgg11(num_classes: int = 10, width: float = 1.0, rng: SeedLike = None) -> VGG:
+    """VGG-11 with batch normalization."""
+    return VGG(_VGG_CONFIGS["vgg11"], num_classes, width, rng=rng)
+
+
+def vgg16(num_classes: int = 10, width: float = 1.0, rng: SeedLike = None) -> VGG:
+    """VGG-16 with batch normalization."""
+    return VGG(_VGG_CONFIGS["vgg16"], num_classes, width, rng=rng)

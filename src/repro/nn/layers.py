@@ -1,0 +1,186 @@
+"""Standard layers: Linear, Conv2d, BatchNorm2d, pooling and containers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.autodiff.conv import avg_pool2d, conv2d, global_avg_pool2d, max_pool2d
+from repro.autodiff.norm import batch_norm2d
+from repro.autodiff.tensor import Tensor
+from repro.nn.init import kaiming_normal, uniform_bias
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import SeedLike, new_rng
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x @ W.T + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(kaiming_normal((out_features, in_features), in_features, rng))
+        self.bias: Optional[Parameter] = (
+            Parameter(uniform_bias((out_features,), in_features, rng)) if bias else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.transpose()
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Conv2d(Module):
+    """2-D convolution layer over NCHW inputs."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            kaiming_normal((out_channels, in_channels, kernel_size, kernel_size), fan_in, rng)
+        )
+        self.bias: Optional[Parameter] = (
+            Parameter(uniform_bias((out_channels,), fan_in, rng)) if bias else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+
+class BatchNorm2d(Module):
+    """Per-channel batch normalization with running statistics."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(np.ones(num_features, dtype=np.float32))
+        self.bias = Parameter(np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        out, batch_mean, batch_var = batch_norm2d(
+            x,
+            self.weight,
+            self.bias,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            eps=self.eps,
+        )
+        if self.training:
+            m = self.momentum
+            self._set_buffer(
+                "running_mean",
+                ((1 - m) * self.running_mean + m * batch_mean).astype(np.float32),
+            )
+            self._set_buffer(
+                "running_var",
+                ((1 - m) * self.running_var + m * batch_var).astype(np.float32),
+            )
+        return out
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class MaxPool2d(Module):
+    """Max pooling with square windows."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return max_pool2d(x, self.kernel_size, self.stride)
+
+
+class AvgPool2d(Module):
+    """Average pooling with square windows."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    """Average over the full spatial extent: (N, C, H, W) -> (N, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return global_avg_pool2d(x)
+
+
+class Flatten(Module):
+    """Flatten all dimensions except the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten_batch()
+
+
+class Identity(Module):
+    """Pass-through module (used for absent shortcut projections)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Sequential(Module):
+    """Run child modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._order = []
+        for index, module in enumerate(modules):
+            name = f"m{index}"
+            setattr(self, name, module)
+            self._order.append(name)
+
+    def __iter__(self):
+        return (getattr(self, name) for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return getattr(self, self._order[index])
+
+    def forward(self, x: Tensor) -> Tensor:
+        for name in self._order:
+            x = getattr(self, name)(x)
+        return x

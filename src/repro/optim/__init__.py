@@ -1,0 +1,7 @@
+"""Optimizers and learning-rate schedules."""
+
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.lr_scheduler import CosineSchedule, StepSchedule
+
+__all__ = ["SGD", "Adam", "StepSchedule", "CosineSchedule"]

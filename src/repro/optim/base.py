@@ -1,0 +1,28 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list and a mutable learning rate."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr < 0:
+            raise ValueError(f"learning rate must be non-negative, got {lr}")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        """Clear every managed parameter's accumulated gradient."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the parameters' current gradients."""
+        raise NotImplementedError

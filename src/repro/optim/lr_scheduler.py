@@ -1,0 +1,45 @@
+"""Learning-rate schedules that mutate an optimizer's ``lr`` in place."""
+
+from __future__ import annotations
+
+import math
+
+from repro.optim.base import Optimizer
+
+
+class StepSchedule:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        """Advance one epoch and update the optimizer's learning rate."""
+        self.epoch += 1
+        decays = self.epoch // self.step_size
+        self.optimizer.lr = self.base_lr * (self.gamma**decays)
+
+
+class CosineSchedule:
+    """Cosine-anneal the learning rate from the base value to ``min_lr``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0) -> None:
+        if total_epochs <= 0:
+            raise ValueError(f"total_epochs must be positive, got {total_epochs}")
+        self.optimizer = optimizer
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        """Advance one epoch along the cosine annealing curve."""
+        self.epoch = min(self.epoch + 1, self.total_epochs)
+        cos = 0.5 * (1.0 + math.cos(math.pi * self.epoch / self.total_epochs))
+        self.optimizer.lr = self.min_lr + (self.base_lr - self.min_lr) * cos

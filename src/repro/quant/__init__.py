@@ -1,0 +1,30 @@
+"""TensorRT-style int8 quantization and bit-level weight manipulation."""
+
+from repro.quant.quantizer import QuantizationParams, dequantize, quantize
+from repro.quant.bits import (
+    bit_reduce,
+    bits_of,
+    flip_bit,
+    hamming_distance,
+    int8_to_uint8,
+    msb_only,
+    uint8_to_int8,
+)
+from repro.quant.qmodel import QuantizedModel
+from repro.quant.weightfile import PAGE_SIZE_BYTES, WeightFile
+
+__all__ = [
+    "QuantizationParams",
+    "quantize",
+    "dequantize",
+    "bits_of",
+    "flip_bit",
+    "msb_only",
+    "bit_reduce",
+    "hamming_distance",
+    "int8_to_uint8",
+    "uint8_to_int8",
+    "QuantizedModel",
+    "WeightFile",
+    "PAGE_SIZE_BYTES",
+]

@@ -1,0 +1,126 @@
+"""Bit-level operations on two's-complement quantized weights.
+
+These implement the paper's bit machinery: Hamming distances for N_flip
+(Section V-B), single-bit flips for the Rowhammer injection, and the
+*Bit Reduction* operator ``Floor((theta + dtheta) XOR theta) XOR theta``
+(Algorithm 1, Step 4), which keeps only the most significant changed bit so
+each modified weight differs from the original in exactly one bit.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+IntArray = np.ndarray
+
+
+def int8_to_uint8(values: IntArray) -> IntArray:
+    """Reinterpret signed int8 values as their two's-complement bytes."""
+    return np.asarray(values, dtype=np.int8).view(np.uint8)
+
+
+def uint8_to_int8(values: IntArray) -> IntArray:
+    """Reinterpret raw bytes as signed int8 values."""
+    return np.asarray(values, dtype=np.uint8).view(np.int8)
+
+
+def bits_of(values: IntArray) -> IntArray:
+    """Expand int8 values to a (..., 8) array of bits, MSB first."""
+    raw = int8_to_uint8(values)
+    return np.unpackbits(raw[..., None], axis=-1)
+
+
+def flip_bit(values: IntArray, bit_index: Union[int, IntArray]) -> IntArray:
+    """Flip one bit per value; ``bit_index`` 0 = LSB, 7 = MSB (sign bit)."""
+    bit_index = np.asarray(bit_index)
+    if np.any((bit_index < 0) | (bit_index > 7)):
+        raise QuantizationError(f"bit_index out of range [0, 7]: {bit_index}")
+    raw = int8_to_uint8(values)
+    mask = (np.uint8(1) << bit_index.astype(np.uint8)).astype(np.uint8)
+    return uint8_to_int8(raw ^ mask)
+
+
+def msb_only(values: IntArray) -> IntArray:
+    """Keep only the most significant set bit of each byte (``Floor`` in the paper).
+
+    ``Floor(0b0111) == 0b0100``; zero maps to zero.
+    """
+    smear = int8_to_uint8(values).astype(np.uint16)
+    # Smear the highest set bit downward, then isolate it.
+    smear |= smear >> 1
+    smear |= smear >> 2
+    smear |= smear >> 4
+    out = smear - (smear >> 1)
+    return uint8_to_int8(out.astype(np.uint8))
+
+
+def bit_reduce(original: IntArray, modified: IntArray) -> IntArray:
+    """Bit Reduction (Algorithm 1, Step 4).
+
+    Returns ``original XOR Floor(original XOR modified)``: the value closest
+    to ``modified`` that differs from ``original`` in at most one bit, keeping
+    the change's direction and as much of its magnitude as possible.
+    """
+    orig_raw = int8_to_uint8(original)
+    mod_raw = int8_to_uint8(modified)
+    diff = orig_raw ^ mod_raw
+    keep = int8_to_uint8(msb_only(uint8_to_int8(diff)))
+    return uint8_to_int8(orig_raw ^ keep)
+
+
+def bit_reduce_avoiding(
+    original: IntArray, modified: IntArray, forbidden_bits: "tuple" = ()
+) -> IntArray:
+    """Bit reduction that never flips the listed bit positions.
+
+    Used to bypass MSB-checksum defenses like RADAR (Section VI-B): before
+    isolating the most significant changed bit, the forbidden positions are
+    cleared from the change mask, so the kept flip is the most significant
+    *allowed* changed bit (a weight whose only change was forbidden reverts
+    to its original value).
+    """
+    orig_raw = int8_to_uint8(original)
+    mod_raw = int8_to_uint8(modified)
+    diff = orig_raw ^ mod_raw
+    mask = 0xFF
+    for bit in forbidden_bits:
+        if not 0 <= bit <= 7:
+            raise QuantizationError(f"forbidden bit {bit} out of range [0, 7]")
+        mask &= ~(1 << bit)
+    diff = diff & np.uint8(mask)
+    keep = int8_to_uint8(msb_only(uint8_to_int8(diff)))
+    return uint8_to_int8(orig_raw ^ keep)
+
+
+def hamming_distance(a: IntArray, b: IntArray) -> int:
+    """Total number of differing bits between two int8 arrays (N_flip)."""
+    a = np.asarray(a, dtype=np.int8)
+    b = np.asarray(b, dtype=np.int8)
+    if a.shape != b.shape:
+        raise QuantizationError(f"shape mismatch: {a.shape} vs {b.shape}")
+    diff = int8_to_uint8(a) ^ int8_to_uint8(b)
+    return int(np.unpackbits(diff.reshape(-1)).sum())
+
+
+def changed_bit_positions(original: IntArray, modified: IntArray) -> np.ndarray:
+    """Return (flat_index, bit_index, direction) rows for every changed bit.
+
+    ``bit_index`` counts from 0 = LSB to 7 = MSB.  ``direction`` is +1 for a
+    0->1 flip (the bit is set in ``modified``) and -1 for 1->0.
+    """
+    orig = int8_to_uint8(np.asarray(original)).reshape(-1)
+    mod = int8_to_uint8(np.asarray(modified)).reshape(-1)
+    diff = orig ^ mod
+    rows = []
+    nonzero = np.nonzero(diff)[0]
+    for idx in nonzero:
+        d = int(diff[idx])
+        for bit in range(8):
+            if d & (1 << bit):
+                direction = 1 if int(mod[idx]) & (1 << bit) else -1
+                rows.append((int(idx), bit, direction))
+    return np.array(rows, dtype=np.int64).reshape(-1, 3)

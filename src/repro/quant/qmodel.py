@@ -1,0 +1,182 @@
+"""Quantized model wrapper: the deployed artifact the attack targets.
+
+A :class:`QuantizedModel` snapshots a float model's parameters into int8
+(per-tensor symmetric scales, Section IV-C), defines the canonical flat
+weight-file layout (parameters concatenated in ``named_parameters`` order,
+one byte per weight), and keeps the float model's parameters in sync with
+the integer weights so inference always reflects the deployed bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.nn.module import Module
+from repro.quant.bits import flip_bit, hamming_distance
+from repro.quant.quantizer import QuantizationParams, dequantize, quantize
+
+
+class QuantizedModel:
+    """An int8-quantized view over a float model.
+
+    Parameters
+    ----------
+    module:
+        The float model whose parameters are quantized.  The module is
+        mutated in place whenever :meth:`sync_to_module` runs (which all
+        integer-mutating methods call automatically).
+    num_bits:
+        Quantization width; the paper uses 8 everywhere.
+    """
+
+    def __init__(self, module: Module, num_bits: int = 8) -> None:
+        if num_bits != 8:
+            raise QuantizationError(
+                f"the weight-file layout assumes 8-bit weights, got {num_bits}"
+            )
+        self.module = module
+        self.num_bits = num_bits
+        self._names: List[str] = []
+        self._shapes: Dict[str, Tuple[int, ...]] = {}
+        self._offsets: Dict[str, int] = {}
+        self._qparams: Dict[str, QuantizationParams] = {}
+        self._qweights: Dict[str, np.ndarray] = {}
+
+        offset = 0
+        for name, param in module.named_parameters():
+            q, params = quantize(param.data, num_bits=num_bits)
+            self._names.append(name)
+            self._shapes[name] = param.data.shape
+            self._offsets[name] = offset
+            self._qparams[name] = params
+            self._qweights[name] = q
+            offset += param.size
+        self._total = offset
+        self.sync_to_module()
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    @property
+    def parameter_names(self) -> List[str]:
+        return list(self._names)
+
+    @property
+    def total_params(self) -> int:
+        """Number of weights == number of bytes in the weight file."""
+        return self._total
+
+    @property
+    def total_bits(self) -> int:
+        return self._total * 8
+
+    def offset_of(self, name: str) -> int:
+        return self._offsets[name]
+
+    def scale_of(self, name: str) -> float:
+        return self._qparams[name].scale
+
+    def qparams_of(self, name: str) -> QuantizationParams:
+        return self._qparams[name]
+
+    def locate(self, flat_index: int) -> Tuple[str, int]:
+        """Map a flat weight-file byte index to (parameter name, local index)."""
+        if not 0 <= flat_index < self._total:
+            raise QuantizationError(
+                f"flat index {flat_index} out of range [0, {self._total})"
+            )
+        for name in reversed(self._names):
+            start = self._offsets[name]
+            if flat_index >= start:
+                return name, flat_index - start
+        raise QuantizationError("unreachable: empty layout")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Integer weight access
+    # ------------------------------------------------------------------
+    def quantized(self, name: str) -> np.ndarray:
+        """Return the int8 tensor for one parameter (copy)."""
+        return self._qweights[name].copy()
+
+    def flat_int8(self) -> np.ndarray:
+        """Concatenate all int8 weights in weight-file order."""
+        return np.concatenate([self._qweights[n].reshape(-1) for n in self._names])
+
+    def load_flat_int8(self, flat: np.ndarray) -> None:
+        """Replace all integer weights from a flat int8 vector."""
+        flat = np.asarray(flat, dtype=np.int8)
+        if flat.size != self._total:
+            raise QuantizationError(
+                f"flat vector has {flat.size} entries, layout needs {self._total}"
+            )
+        for name in self._names:
+            start = self._offsets[name]
+            size = int(np.prod(self._shapes[name]))
+            self._qweights[name] = flat[start : start + size].reshape(self._shapes[name]).copy()
+        self.sync_to_module()
+
+    def set_quantized(self, name: str, values: np.ndarray) -> None:
+        """Overwrite one parameter's integer weights."""
+        values = np.asarray(values, dtype=np.int8)
+        if values.shape != self._shapes[name]:
+            raise QuantizationError(
+                f"shape mismatch for {name!r}: {values.shape} vs {self._shapes[name]}"
+            )
+        self._qweights[name] = values.copy()
+        self.sync_to_module()
+
+    def apply_bit_flip(self, flat_index: int, bit_index: int) -> None:
+        """Flip one bit of one weight byte, as Rowhammer would in DRAM."""
+        name, local = self.locate(flat_index)
+        q = self._qweights[name].reshape(-1)
+        q[local] = flip_bit(q[local : local + 1], bit_index)[0]
+        self.sync_to_module()
+
+    # ------------------------------------------------------------------
+    # Float <-> int synchronization
+    # ------------------------------------------------------------------
+    def sync_to_module(self) -> None:
+        """Write dequantized weights into the float module's parameters."""
+        params = dict(self.module.named_parameters())
+        for name in self._names:
+            params[name].data = dequantize(self._qweights[name], self._qparams[name])
+
+    def requantize_from_module(self, names: Optional[List[str]] = None) -> None:
+        """Pull float parameters back into the integer domain.
+
+        Uses the *original* per-tensor scales (the deployed file's scales are
+        fixed at deployment time), clipping to the representable range.  This
+        is the projection CFT performs after each fine-tuning step.
+        """
+        params = dict(self.module.named_parameters())
+        for name in names if names is not None else self._names:
+            qp = self._qparams[name]
+            q = np.clip(np.round(params[name].data / qp.scale), qp.qmin, qp.qmax)
+            self._qweights[name] = q.astype(np.int8)
+
+    def clone(self) -> "QuantizedModel":
+        """Deep-copy the integer state onto a snapshot sharing the module.
+
+        The clone records the same module reference but independent integer
+        weights; call :meth:`sync_to_module` on whichever copy should drive
+        inference.
+        """
+        import copy
+
+        twin = object.__new__(QuantizedModel)
+        twin.module = self.module
+        twin.num_bits = self.num_bits
+        twin._names = list(self._names)
+        twin._shapes = dict(self._shapes)
+        twin._offsets = dict(self._offsets)
+        twin._qparams = dict(self._qparams)
+        twin._qweights = {k: v.copy() for k, v in self._qweights.items()}
+        twin._total = self._total
+        return twin
+
+    def nflip_against(self, other: "QuantizedModel") -> int:
+        """Hamming distance in bits between two quantized states (N_flip)."""
+        return hamming_distance(self.flat_int8(), other.flat_int8())

@@ -1,0 +1,57 @@
+"""Symmetric per-tensor quantization, matching the paper's Section IV-C.
+
+A floating-point weight tensor ``W_fp`` is re-encoded as signed integers
+``W_q = round(W_fp / delta)`` with ``delta = max|W_fp| / (2^(Nq-1) - 1)``,
+stored in two's-complement form (Nq = 8 in all experiments).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+
+@dataclasses.dataclass(frozen=True)
+class QuantizationParams:
+    """Quantization metadata for one tensor."""
+
+    scale: float
+    num_bits: int = 8
+
+    @property
+    def qmin(self) -> int:
+        return -(2 ** (self.num_bits - 1)) + 1
+
+    @property
+    def qmax(self) -> int:
+        return 2 ** (self.num_bits - 1) - 1
+
+
+def quantize(weights: np.ndarray, num_bits: int = 8) -> Tuple[np.ndarray, QuantizationParams]:
+    """Quantize a float tensor to signed ``num_bits`` integers.
+
+    Returns the integer tensor (dtype int8 for num_bits == 8, else int16)
+    and the :class:`QuantizationParams` needed to dequantize.
+    """
+    if not 2 <= num_bits <= 16:
+        raise QuantizationError(f"num_bits must be in [2, 16], got {num_bits}")
+    weights = np.asarray(weights, dtype=np.float64)
+    qmax = 2 ** (num_bits - 1) - 1
+    peak = float(np.max(np.abs(weights))) if weights.size else 0.0
+    if peak == 0.0:
+        # All-zero tensor: any positive scale round-trips correctly.
+        scale = 1.0
+    else:
+        scale = peak / qmax
+    q = np.clip(np.round(weights / scale), -qmax, qmax)
+    dtype = np.int8 if num_bits <= 8 else np.int16
+    return q.astype(dtype), QuantizationParams(scale=scale, num_bits=num_bits)
+
+
+def dequantize(q: np.ndarray, params: QuantizationParams) -> np.ndarray:
+    """Map integer weights back to float32."""
+    return (np.asarray(q, dtype=np.float64) * params.scale).astype(np.float32)

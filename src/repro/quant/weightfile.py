@@ -1,0 +1,138 @@
+"""The serialized weight file and its 4 KB page layout.
+
+When the deployed model is loaded, the OS page cache stores the weight file
+in fixed 4 KB pages (Figure 3).  With 8-bit weights, each page holds exactly
+4096 weights; the page/offset geometry below is what both the grouping
+constraint (C2) and the online Rowhammer phase operate on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.quant.bits import int8_to_uint8, uint8_to_int8
+
+PAGE_SIZE_BYTES = 4096
+PAGE_SIZE_BITS = PAGE_SIZE_BYTES * 8
+
+
+@dataclasses.dataclass(frozen=True)
+class BitLocation:
+    """A single bit in the weight file, in page coordinates.
+
+    Attributes
+    ----------
+    page:
+        Page index within the file.
+    byte_offset:
+        Byte offset within the page (0..4095).
+    bit_index:
+        Bit within the byte, 0 = LSB .. 7 = MSB.
+    direction:
+        +1 for a 0->1 flip, -1 for 1->0 (the flip the attack needs).
+    """
+
+    page: int
+    byte_offset: int
+    bit_index: int
+    direction: int
+
+    @property
+    def flat_byte_index(self) -> int:
+        return self.page * PAGE_SIZE_BYTES + self.byte_offset
+
+
+class WeightFile:
+    """A byte-level view of the serialized int8 weights."""
+
+    def __init__(self, flat_int8: np.ndarray) -> None:
+        flat_int8 = np.asarray(flat_int8, dtype=np.int8)
+        if flat_int8.ndim != 1:
+            raise QuantizationError(f"weight file needs a flat vector, got {flat_int8.shape}")
+        self._data = flat_int8.copy()
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "WeightFile":
+        return cls(np.frombuffer(raw, dtype=np.int8))
+
+    def to_bytes(self) -> bytes:
+        return int8_to_uint8(self._data).tobytes()
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self._data.size)
+
+    @property
+    def num_pages(self) -> int:
+        """Number of 4 KB pages the file occupies (last page may be partial)."""
+        return (len(self) + PAGE_SIZE_BYTES - 1) // PAGE_SIZE_BYTES
+
+    def page_of(self, flat_index: int) -> int:
+        self._check_index(flat_index)
+        return flat_index // PAGE_SIZE_BYTES
+
+    def page_offset_of(self, flat_index: int) -> int:
+        self._check_index(flat_index)
+        return flat_index % PAGE_SIZE_BYTES
+
+    def page_slice(self, page: int) -> np.ndarray:
+        """Return the int8 contents of one page (copy; short final page allowed)."""
+        if not 0 <= page < self.num_pages:
+            raise QuantizationError(f"page {page} out of range [0, {self.num_pages})")
+        start = page * PAGE_SIZE_BYTES
+        return self._data[start : start + PAGE_SIZE_BYTES].copy()
+
+    def pages(self) -> Iterator[Tuple[int, np.ndarray]]:
+        for page in range(self.num_pages):
+            yield page, self.page_slice(page)
+
+    def _check_index(self, flat_index: int) -> None:
+        if not 0 <= flat_index < len(self):
+            raise QuantizationError(
+                f"byte index {flat_index} out of range [0, {len(self)})"
+            )
+
+    # ------------------------------------------------------------------
+    # Content
+    # ------------------------------------------------------------------
+    def read(self, flat_index: int) -> int:
+        self._check_index(flat_index)
+        return int(self._data[flat_index])
+
+    def write(self, flat_index: int, value: int) -> None:
+        self._check_index(flat_index)
+        self._data[flat_index] = np.int8(value)
+
+    def as_int8(self) -> np.ndarray:
+        return self._data.copy()
+
+    def bit_locations_against(self, other: "WeightFile") -> List[BitLocation]:
+        """All bit differences between two files, in page coordinates."""
+        if len(other) != len(self):
+            raise QuantizationError(
+                f"cannot diff files of different sizes ({len(self)} vs {len(other)})"
+            )
+        mine = int8_to_uint8(self._data)
+        theirs = int8_to_uint8(other._data)
+        diff = mine ^ theirs
+        locations: List[BitLocation] = []
+        for idx in np.nonzero(diff)[0]:
+            d = int(diff[idx])
+            for bit in range(8):
+                if d & (1 << bit):
+                    direction = 1 if int(theirs[idx]) & (1 << bit) else -1
+                    locations.append(
+                        BitLocation(
+                            page=int(idx) // PAGE_SIZE_BYTES,
+                            byte_offset=int(idx) % PAGE_SIZE_BYTES,
+                            bit_index=bit,
+                            direction=direction,
+                        )
+                    )
+        return locations

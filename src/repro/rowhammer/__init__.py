@@ -1,0 +1,26 @@
+"""Rowhammer device profiles, hammer engine, fault profiler and templating."""
+
+from repro.rowhammer.device_profiles import (
+    DDR3_PROFILES,
+    DDR4_PROFILES,
+    DEVICE_PROFILES,
+    DeviceProfile,
+    get_profile,
+)
+from repro.rowhammer.hammer import HammerEngine
+from repro.rowhammer.profiler import FlipProfile, FlipRecord, MemoryProfiler
+from repro.rowhammer.templating import PageTemplater, TemplateMatch
+
+__all__ = [
+    "DeviceProfile",
+    "DDR3_PROFILES",
+    "DDR4_PROFILES",
+    "DEVICE_PROFILES",
+    "get_profile",
+    "HammerEngine",
+    "MemoryProfiler",
+    "FlipProfile",
+    "FlipRecord",
+    "PageTemplater",
+    "TemplateMatch",
+]

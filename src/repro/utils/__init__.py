@@ -1,0 +1,5 @@
+"""Shared utilities: seeded RNG management and serialization helpers."""
+
+from repro.utils.rng import new_rng, spawn_rngs
+
+__all__ = ["new_rng", "spawn_rngs"]

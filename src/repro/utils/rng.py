@@ -1,0 +1,41 @@
+"""Deterministic random-number-generator helpers.
+
+Every stochastic component in the library accepts either an integer seed or a
+:class:`numpy.random.Generator`.  Centralizing the coercion here keeps all
+experiments reproducible end-to-end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def new_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be an integer, an existing generator (returned unchanged) or
+    ``None`` (fresh OS-entropy generator).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Split ``seed`` into ``count`` independent child generators.
+
+    Uses :class:`numpy.random.SeedSequence` spawning so children are
+    statistically independent regardless of how many are requested.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive a stable child sequence from the generator's own stream.
+        root = np.random.SeedSequence(int(seed.integers(0, 2**63)))
+    else:
+        root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(count)]

@@ -1,0 +1,51 @@
+"""Saving and loading attack artifacts (offline results, triggers).
+
+The offline phase can run on a different machine than the online phase (the
+paper's attacker profiles the victim's DRAM on site but optimizes on a
+GPU box), so the backdoor plan must round-trip through a file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.attacks.base import OfflineAttackResult
+from repro.data.trigger import TriggerPattern
+
+PathLike = Union[str, Path]
+
+
+def save_offline_result(result: OfflineAttackResult, path: PathLike) -> None:
+    """Serialize an offline attack result to an ``.npz`` file."""
+    np.savez(
+        Path(path),
+        original_weights=result.original_weights,
+        backdoored_weights=result.backdoored_weights,
+        trigger_mask=result.trigger.mask,
+        trigger_pattern=result.trigger.pattern,
+        trigger_clip=np.asarray(result.trigger.clip_range, dtype=np.float64),
+        n_flip=np.asarray(result.n_flip),
+        loss_history=np.asarray(result.loss_history, dtype=np.float64),
+        method=np.asarray(result.method),
+    )
+
+
+def load_offline_result(path: PathLike) -> OfflineAttackResult:
+    """Load an offline attack result saved by :func:`save_offline_result`."""
+    with np.load(Path(path), allow_pickle=False) as payload:
+        trigger = TriggerPattern(
+            mask=payload["trigger_mask"],
+            pattern=payload["trigger_pattern"],
+            clip_range=tuple(payload["trigger_clip"].tolist()),
+        )
+        return OfflineAttackResult(
+            original_weights=payload["original_weights"],
+            backdoored_weights=payload["backdoored_weights"],
+            trigger=trigger,
+            n_flip=int(payload["n_flip"]),
+            loss_history=payload["loss_history"].tolist(),
+            method=str(payload["method"]),
+        )

@@ -1,0 +1,86 @@
+"""Shared fixtures: tiny models, datasets and memory systems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset
+from repro.data.synthetic import SyntheticImageClassification, SyntheticSpec
+from repro.memory.dram import DRAMArray
+from repro.memory.geometry import DRAMGeometry
+from repro.memory.mmap import OSMemoryModel
+from repro.models import resnet20
+from repro.nn import Conv2d, GlobalAvgPool2d, Linear, Module, ReLU, Sequential
+from repro.quant.qmodel import QuantizedModel
+
+
+class TinyCNN(Module):
+    """A small conv net for fast attack/defense tests.
+
+    Sized to span several 4 KB weight-file pages (~12k parameters) so the
+    page-level attack constraints are exercised, while staying fast.
+    """
+
+    def __init__(self, num_classes: int = 4, rng=0) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(3, 8, 3, padding=1, rng=rng)
+        self.conv2 = Conv2d(8, 16, 3, stride=2, padding=1, rng=rng)
+        self.conv3 = Conv2d(16, 24, 3, padding=1, rng=rng)
+        self.pool = GlobalAvgPool2d()
+        self.hidden = Linear(24, 256, rng=rng)
+        self.fc = Linear(256, num_classes, rng=rng)
+        self.num_classes = num_classes
+
+    def forward_features(self, x):
+        out = self.conv1(x).relu()
+        out = self.conv2(out).relu()
+        return self.conv3(out).relu()
+
+    def forward_head(self, features):
+        return self.fc(self.hidden(self.pool(features)).relu())
+
+    def forward_penultimate(self, x):
+        return self.hidden(self.pool(self.forward_features(x))).relu()
+
+    def forward(self, x):
+        return self.forward_head(self.forward_features(x))
+
+
+@pytest.fixture
+def tiny_model():
+    return TinyCNN(rng=0)
+
+
+@pytest.fixture
+def tiny_quantized(tiny_model):
+    return QuantizedModel(tiny_model)
+
+
+@pytest.fixture
+def tiny_dataset():
+    spec = SyntheticSpec(num_classes=4, image_size=16, prototypes_per_class=2)
+    task = SyntheticImageClassification(spec, seed=0)
+    return task.generate(64, "train")
+
+
+@pytest.fixture
+def tiny_test_dataset():
+    spec = SyntheticSpec(num_classes=4, image_size=16, prototypes_per_class=2)
+    task = SyntheticImageClassification(spec, seed=0)
+    return task.generate(48, "test")
+
+
+@pytest.fixture
+def small_geometry():
+    return DRAMGeometry(num_banks=4, rows_per_bank=64, row_size_bytes=8192)
+
+
+@pytest.fixture
+def small_dram(small_geometry):
+    return DRAMArray(small_geometry, flips_per_page_mean=20.0, seed=7)
+
+
+@pytest.fixture
+def os_model(small_dram):
+    return OSMemoryModel(small_dram, rng=11)

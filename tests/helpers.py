@@ -1,0 +1,54 @@
+"""Shared test utilities: numerical gradient checking."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-3
+) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        high = fn(x)
+        flat[i] = original - eps
+        low = fn(x)
+        flat[i] = original
+        grad_flat[i] = (high - low) / (2 * eps)
+    return grad
+
+
+def check_gradient(
+    forward: Callable[[Tensor], Tensor],
+    x: np.ndarray,
+    atol: float = 1e-2,
+    rtol: float = 5e-2,
+) -> None:
+    """Assert analytic and numerical input gradients agree.
+
+    ``forward`` maps a Tensor to a Tensor of any shape; the check reduces
+    the output to a scalar with a fixed random weighting so every output
+    element participates.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    weighting = np.random.default_rng(0).normal(size=forward(Tensor(x.astype(np.float32))).shape)
+
+    def scalar(values: np.ndarray) -> float:
+        out = forward(Tensor(values.astype(np.float32)))
+        return float((out.numpy().astype(np.float64) * weighting).sum())
+
+    t = Tensor(x.astype(np.float32), requires_grad=True)
+    out = forward(t)
+    out.backward(weighting.astype(np.float32))
+    analytic = t.grad.astype(np.float64)
+    numeric = numerical_gradient(scalar, x.copy())
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)

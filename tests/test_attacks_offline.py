@@ -1,0 +1,182 @@
+"""Offline attack behavior on a tiny victim (mechanics, not headline ASR)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    AttackConfig,
+    BadNetAttack,
+    CFTAttack,
+    LastLayerFTAttack,
+    TBTAttack,
+    restore_parameters_experiment,
+)
+from repro.quant import WeightFile
+from repro.quant.bits import int8_to_uint8
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        target_class=1,
+        iterations=12,
+        n_flip_budget=2,
+        batch_size=16,
+        trigger_size=4,
+        epsilon=0.02,
+        learning_rate=0.05,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return AttackConfig(**defaults)
+
+
+def bits_changed_per_byte(original, modified):
+    diff = int8_to_uint8(original) ^ int8_to_uint8(modified)
+    return np.unpackbits(diff.reshape(-1, 1), axis=1).sum(axis=1)
+
+
+class TestCFTBR:
+    @pytest.fixture(params=["progressive", "sgd"])
+    def result(self, request, tiny_quantized, tiny_dataset):
+        attack = CFTAttack(tiny_config(), bit_reduction=True, strategy=request.param)
+        return attack.run(tiny_quantized, tiny_dataset), tiny_quantized
+
+    def test_respects_flip_budget(self, result):
+        offline, _ = result
+        assert offline.n_flip <= tiny_config().n_flip_budget
+
+    def test_each_changed_weight_differs_in_one_bit(self, result):
+        offline, _ = result
+        per_byte = bits_changed_per_byte(offline.original_weights, offline.backdoored_weights)
+        assert per_byte.max(initial=0) <= 1
+
+    def test_at_most_one_change_per_page(self, result):
+        offline, _ = result
+        original = WeightFile(offline.original_weights)
+        modified = WeightFile(offline.backdoored_weights)
+        pages = [loc.page for loc in original.bit_locations_against(modified)]
+        assert len(pages) == len(set(pages))
+
+    def test_module_state_matches_backdoored_weights(self, result):
+        offline, qmodel = result
+        np.testing.assert_array_equal(qmodel.flat_int8(), offline.backdoored_weights)
+
+    def test_loss_history_recorded(self, result):
+        offline, _ = result
+        assert len(offline.loss_history) > 0
+        assert all(np.isfinite(offline.loss_history))
+
+    def test_trigger_was_optimized(self, result):
+        offline, _ = result
+        masked = offline.trigger.pattern[offline.trigger.mask]
+        assert not np.allclose(masked, masked.reshape(-1)[0])  # moved off init
+
+
+class TestCFTNoBR:
+    def test_multi_bit_changes_allowed(self, tiny_quantized, tiny_dataset):
+        attack = CFTAttack(
+            tiny_config(step_quanta=33.0), bit_reduction=False, strategy="progressive"
+        )
+        offline = attack.run(tiny_quantized, tiny_dataset)
+        if offline.n_flip:
+            per_byte = bits_changed_per_byte(
+                offline.original_weights, offline.backdoored_weights
+            )
+            # step of 33 quanta cannot be a single bit flip for most values
+            assert per_byte.max() >= 2
+
+    def test_method_name(self):
+        assert CFTAttack(tiny_config(), bit_reduction=False).name == "CFT"
+        assert CFTAttack(tiny_config(), bit_reduction=True).name == "CFT+BR"
+
+    def test_invalid_strategy_raises(self):
+        from repro.errors import AttackError
+
+        with pytest.raises(AttackError):
+            CFTAttack(tiny_config(), strategy="magic")
+
+
+class TestForbiddenBits:
+    def test_sign_bit_never_flipped_when_forbidden(self, tiny_quantized, tiny_dataset):
+        config = tiny_config(forbidden_bits=(7,), iterations=10)
+        attack = CFTAttack(config, bit_reduction=True, strategy="progressive")
+        offline = attack.run(tiny_quantized, tiny_dataset)
+        original = WeightFile(offline.original_weights)
+        modified = WeightFile(offline.backdoored_weights)
+        for location in original.bit_locations_against(modified):
+            assert location.bit_index != 7
+
+
+class TestBaselines:
+    def test_badnet_changes_many_weights(self, tiny_quantized, tiny_dataset):
+        offline = BadNetAttack(tiny_config(iterations=20, learning_rate=0.1)).run(
+            tiny_quantized, tiny_dataset
+        )
+        assert offline.method == "BadNet"
+        assert offline.n_flip > 10  # unconstrained fine-tuning touches many bytes
+
+    def test_ft_only_touches_last_layer(self, tiny_quantized, tiny_dataset):
+        offline = LastLayerFTAttack(tiny_config(iterations=20, learning_rate=0.1)).run(
+            tiny_quantized, tiny_dataset
+        )
+        fc_start = tiny_quantized.offset_of("fc.weight")
+        changed = np.nonzero(offline.original_weights != offline.backdoored_weights)[0]
+        assert changed.size > 0
+        assert (changed >= fc_start).all()
+
+    def test_tbt_touches_only_selected_fc_row(self, tiny_quantized, tiny_dataset):
+        config = tiny_config(iterations=20, learning_rate=0.1)
+        attack = TBTAttack(config, num_neurons=3, trigger_steps=5)
+        offline = attack.run(tiny_quantized, tiny_dataset)
+        fc_start = tiny_quantized.offset_of("fc.weight")
+        out_features = tiny_quantized.module.fc.out_features
+        in_features = tiny_quantized.module.fc.in_features
+        changed = np.nonzero(offline.original_weights != offline.backdoored_weights)[0]
+        for index in changed:
+            local = index - fc_start
+            assert 0 <= local < out_features * in_features
+            assert local // in_features == config.target_class
+        assert offline.extra["num_neurons"] == 3
+
+    def test_tbt_requires_fc(self, tiny_dataset):
+        from repro.errors import AttackError
+        from repro.nn import Linear
+        from repro.quant import QuantizedModel
+
+        class NoFC(Linear):
+            pass
+
+        with pytest.raises(AttackError):
+            TBTAttack(tiny_config()).run(QuantizedModel(Linear(4, 2, rng=0)), tiny_dataset)
+
+
+class TestRestoration:
+    def test_restoration_rows_and_monotone_modifications(self, tiny_quantized, tiny_dataset, tiny_test_dataset):
+        offline = BadNetAttack(tiny_config(iterations=20, learning_rate=0.1)).run(
+            tiny_quantized, tiny_dataset
+        )
+        points = restore_parameters_experiment(
+            tiny_quantized, offline, tiny_test_dataset, target_class=1,
+            keep_fractions=(1.0, 0.5, 0.0),
+        )
+        assert [p.modification_percent for p in points] == [100.0, 50.0, 0.0]
+        for point in points:
+            assert 0.0 <= point.test_accuracy <= 1.0
+            assert 0.0 <= point.attack_success_rate <= 1.0
+
+    def test_zero_keep_restores_original_model(self, tiny_quantized, tiny_dataset, tiny_test_dataset):
+        offline = BadNetAttack(tiny_config(iterations=10, learning_rate=0.1)).run(
+            tiny_quantized, tiny_dataset
+        )
+        restore_parameters_experiment(
+            tiny_quantized, offline, tiny_test_dataset, target_class=1, keep_fractions=(0.0,)
+        )
+        # The experiment leaves the model fully modified at the end.
+        np.testing.assert_array_equal(tiny_quantized.flat_int8(), offline.backdoored_weights)
+
+    def test_invalid_fraction_raises(self, tiny_quantized, tiny_dataset, tiny_test_dataset):
+        offline = BadNetAttack(tiny_config(iterations=5)).run(tiny_quantized, tiny_dataset)
+        with pytest.raises(ValueError):
+            restore_parameters_experiment(
+                tiny_quantized, offline, tiny_test_dataset, 1, keep_fractions=(1.5,)
+            )

@@ -1,0 +1,128 @@
+"""Online phase: placement, hammering and r_match scoring (tiny scale)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackConfig, CFTAttack, OnlineInjector
+from repro.attacks.base import OfflineAttackResult
+from repro.data.trigger import TriggerPattern
+from repro.memory.dram import DRAMArray
+from repro.memory.geometry import DRAMGeometry
+from repro.memory.mmap import OSMemoryModel
+from repro.quant.bits import flip_bit
+from repro.rowhammer import HammerEngine, MemoryProfiler, get_profile
+
+
+@pytest.fixture
+def memory_setup():
+    """OS + engine + attacker buffer + profile, on a flippy device."""
+    geometry = DRAMGeometry(num_banks=8, rows_per_bank=512, row_size_bytes=8192)
+    dram = DRAMArray(geometry, flips_per_page_mean=80.0, seed=5)
+    os_model = OSMemoryModel(dram, rng=2)
+    engine = HammerEngine(dram, get_profile("K1"))
+    buffer = os_model.mmap_anonymous(768)
+    profile = MemoryProfiler(os_model, engine).profile_mapping(buffer, n_sides=7)
+    return os_model, engine, buffer, profile
+
+
+def offline_result_with_flips(num_pages: int, flips, trigger=None) -> OfflineAttackResult:
+    """Craft an offline result with specific (byte_index, bit[, direction]) flips.
+
+    ``direction`` defaults to +1 (0 -> 1); for -1 the original byte has the
+    bit set and the modified byte clears it.
+    """
+    size = num_pages * 4096
+    original = np.zeros(size, dtype=np.int8)
+    modified = original.copy()
+    for flip in flips:
+        byte_index, bit = flip[0], flip[1]
+        direction = flip[2] if len(flip) > 2 else 1
+        if direction == -1:
+            original[byte_index] = flip_bit(original[byte_index : byte_index + 1], bit)[0]
+        else:
+            modified[byte_index] = flip_bit(modified[byte_index : byte_index + 1], bit)[0]
+    return OfflineAttackResult(
+        original_weights=original,
+        backdoored_weights=modified,
+        trigger=trigger or TriggerPattern.square((3, 16, 16), 4),
+        n_flip=len(flips),
+        loss_history=[],
+        method="crafted",
+    )
+
+
+def achievable_flips(profile, count):
+    """Pick one profiled flip from each of ``count`` distinct frames.
+
+    Returns (byte_index_in_file, bit, direction) rows where file page i is
+    matched to the i-th chosen frame's flip, guaranteeing templating can
+    succeed regardless of the (small) test profile's coverage.
+    """
+    per_frame = {}
+    for record in profile.records:
+        per_frame.setdefault(record.frame, record)
+    chosen = [per_frame[f] for f in sorted(per_frame)[:count]]
+    assert len(chosen) == count, "profile too sparse for the test"
+    return [
+        (page * 4096 + record.byte_offset, record.bit, record.direction)
+        for page, record in enumerate(chosen)
+    ]
+
+
+class TestOnlineInjection:
+    def test_sparse_single_bit_flips_inject_fully(self, memory_setup):
+        os_model, engine, buffer, profile = memory_setup
+        flips = achievable_flips(profile, 3)
+        offline = offline_result_with_flips(3, flips)
+        injector = OnlineInjector(os_model, engine, profile, buffer, n_sides=7)
+        result = injector.inject(offline, file_id="sparse.bin")
+        assert result.placement_verified
+        assert result.n_flip_required == 3
+        assert result.n_flip_achieved == 3
+        assert result.unmatched_pages == []
+        assert result.r_match > 99.0
+        # The achieved flips are exactly where the plan said.
+        for byte_index, _, _ in flips:
+            assert result.corrupted_weights[byte_index] != offline.original_weights[byte_index]
+
+    def test_dense_page_falls_back_to_single_bit(self, memory_setup):
+        os_model, engine, buffer, profile = memory_setup
+        # 30 flips in one page: no frame covers all; fallback picks one.
+        flips = [(i * 16, i % 7) for i in range(30)]
+        offline = offline_result_with_flips(2, flips)
+        injector = OnlineInjector(os_model, engine, profile, buffer, n_sides=7)
+        result = injector.inject(offline, file_id="dense.bin")
+        assert result.n_flip_required == 30
+        assert result.n_flip_achieved <= 2
+        assert result.r_match < 10.0
+
+    def test_no_fallback_leaves_page_unmatched(self, memory_setup):
+        os_model, engine, buffer, profile = memory_setup
+        flips = [(i * 16, i % 7) for i in range(30)]
+        offline = offline_result_with_flips(2, flips)
+        injector = OnlineInjector(os_model, engine, profile, buffer, n_sides=7)
+        result = injector.inject(offline, file_id="nofb.bin", fallback_single_bit=False)
+        assert result.n_flip_achieved == 0
+        assert result.unmatched_pages == [0]
+
+    def test_hammer_time_accounted(self, memory_setup):
+        os_model, engine, buffer, profile = memory_setup
+        offline = offline_result_with_flips(2, achievable_flips(profile, 1))
+        injector = OnlineInjector(os_model, engine, profile, buffer, n_sides=7)
+        result = injector.inject(offline, file_id="time.bin")
+        assert result.matched_pages
+        assert result.hammer_seconds == pytest.approx(0.4, rel=0.01)  # one 7-sided row
+
+    def test_corrupted_weights_visible_through_page_cache(self, memory_setup):
+        os_model, engine, buffer, profile = memory_setup
+        flips = achievable_flips(profile, 1)
+        byte_index, _, _ = flips[0]
+        offline = offline_result_with_flips(2, flips)
+        injector = OnlineInjector(os_model, engine, profile, buffer, n_sides=7)
+        result = injector.inject(offline, file_id="cache.bin")
+        assert result.n_flip_achieved == 1
+        # A fresh mapping (victim re-opens the file) sees the corruption.
+        fresh = os_model.mmap_file("cache.bin")
+        page0 = os_model.read_page(fresh, 0)
+        assert page0[byte_index % 4096] != np.uint8(offline.original_weights[byte_index])
+        assert not os_model.page_cache.is_dirty("cache.bin", 0)

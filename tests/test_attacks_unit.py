@@ -1,0 +1,133 @@
+"""Unit tests for attack building blocks (selection, objective, config)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackConfig, attack_loss_and_grads, group_sort_select
+from repro.attacks.cft import WEIGHTS_PER_PAGE
+from repro.attacks.objective import flatten_grads
+from repro.data.trigger import TriggerPattern
+from repro.errors import AttackError
+
+
+class TestAttackConfig:
+    def test_defaults_follow_paper(self):
+        config = AttackConfig()
+        assert config.alpha == 0.5
+        assert config.epsilon == 0.001
+        assert config.trigger_size == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 1.5},
+            {"epsilon": -0.1},
+            {"iterations": 0},
+            {"n_flip_budget": 0},
+            {"update_rule": "newton"},
+            {"step_quanta": 0},
+        ],
+    )
+    def test_invalid_values_raise(self, kwargs):
+        with pytest.raises(AttackError):
+            AttackConfig(**kwargs)
+
+
+class TestGroupSortSelect:
+    def test_selects_top_per_group(self):
+        n = WEIGHTS_PER_PAGE * 4
+        grads = np.zeros(n)
+        grads[100] = 5.0  # group 0
+        grads[WEIGHTS_PER_PAGE + 7] = 3.0  # group 1
+        grads[2 * WEIGHTS_PER_PAGE + 9] = 4.0  # group 2
+        grads[3 * WEIGHTS_PER_PAGE + 1] = 1.0  # group 3
+        selected = group_sort_select(grads, n_flip=4)
+        assert set(selected) == {100, WEIGHTS_PER_PAGE + 7, 2 * WEIGHTS_PER_PAGE + 9, 3 * WEIGHTS_PER_PAGE + 1}
+
+    def test_one_selection_per_page_group(self):
+        n = WEIGHTS_PER_PAGE * 6
+        grads = np.random.default_rng(0).random(n)
+        selected = group_sort_select(grads, n_flip=3)
+        assert len(selected) == 3
+        pages = selected // WEIGHTS_PER_PAGE
+        assert len(set(pages.tolist())) == 3  # no page collision
+
+    def test_trailing_weights_fold_into_last_group(self):
+        n = WEIGHTS_PER_PAGE * 2 + 100
+        grads = np.zeros(n)
+        grads[-1] = 9.0
+        selected = group_sort_select(grads, n_flip=2)
+        assert n - 1 in selected
+
+    def test_budget_exceeding_pages_raises(self):
+        grads = np.random.default_rng(0).random(WEIGHTS_PER_PAGE)  # one page
+        with pytest.raises(AttackError):
+            group_sort_select(grads, n_flip=2)
+
+    def test_small_model_single_group(self):
+        grads = np.array([1.0, 9.0, 3.0])
+        selected = group_sort_select(grads, n_flip=1)
+        assert selected.tolist() == [1]
+
+
+class TestObjective:
+    def test_loss_components_and_grads(self, tiny_model, tiny_dataset):
+        trigger = TriggerPattern.square((3, 16, 16), 4)
+        tiny_model.eval()
+        result = attack_loss_and_grads(
+            tiny_model,
+            tiny_dataset.images[:16],
+            tiny_dataset.labels[:16],
+            trigger,
+            target_class=1,
+            alpha=0.5,
+        )
+        assert result.loss == pytest.approx(
+            0.5 * result.clean_loss + 0.5 * result.trigger_loss, rel=1e-5
+        )
+        assert set(result.param_grads) == {n for n, _ in tiny_model.named_parameters()}
+        assert result.trigger_grad is not None
+        assert result.trigger_grad.shape == (3, 16, 16)
+
+    def test_alpha_zero_ignores_trigger_loss(self, tiny_model, tiny_dataset):
+        trigger = TriggerPattern.square((3, 16, 16), 4)
+        result = attack_loss_and_grads(
+            tiny_model,
+            tiny_dataset.images[:8],
+            tiny_dataset.labels[:8],
+            trigger,
+            target_class=1,
+            alpha=0.0,
+        )
+        assert result.loss == pytest.approx(result.clean_loss, rel=1e-5)
+
+    def test_trigger_grad_optional(self, tiny_model, tiny_dataset):
+        trigger = TriggerPattern.square((3, 16, 16), 4)
+        result = attack_loss_and_grads(
+            tiny_model,
+            tiny_dataset.images[:8],
+            tiny_dataset.labels[:8],
+            trigger,
+            target_class=1,
+            alpha=0.5,
+            need_trigger_grad=False,
+        )
+        assert result.trigger_grad is None
+
+    def test_flatten_grads_order(self, tiny_model, tiny_dataset):
+        trigger = TriggerPattern.square((3, 16, 16), 4)
+        result = attack_loss_and_grads(
+            tiny_model,
+            tiny_dataset.images[:8],
+            tiny_dataset.labels[:8],
+            trigger,
+            target_class=1,
+            alpha=0.5,
+        )
+        names = [n for n, _ in tiny_model.named_parameters()]
+        flat = flatten_grads(result.param_grads, names)
+        assert flat.size == tiny_model.num_parameters()
+        np.testing.assert_allclose(
+            flat[: result.param_grads[names[0]].size],
+            result.param_grads[names[0]].reshape(-1),
+        )

@@ -1,0 +1,143 @@
+"""Gradient and shape checks for convolution, pooling and batch norm."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.conv import avg_pool2d, conv2d, global_avg_pool2d, max_pool2d, pad2d
+from repro.autodiff.norm import batch_norm2d
+from repro.autodiff.tensor import Tensor
+from repro.errors import ShapeError
+
+from tests.helpers import check_gradient
+
+RNG = np.random.default_rng(7)
+
+
+class TestConv2d:
+    def test_matches_direct_convolution(self):
+        x = RNG.normal(size=(1, 1, 4, 4)).astype(np.float32)
+        w = RNG.normal(size=(1, 1, 3, 3)).astype(np.float32)
+        out = conv2d(Tensor(x), Tensor(w), stride=1, padding=0).numpy()
+        expected = np.zeros((1, 1, 2, 2), dtype=np.float32)
+        for i in range(2):
+            for j in range(2):
+                expected[0, 0, i, j] = (x[0, 0, i : i + 3, j : j + 3] * w[0, 0]).sum()
+        np.testing.assert_allclose(out, expected, rtol=1e-5)
+
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_input_gradient(self, stride, padding):
+        w = Tensor(RNG.normal(size=(3, 2, 3, 3)).astype(np.float32))
+        check_gradient(
+            lambda t: conv2d(t, w, stride=stride, padding=padding),
+            RNG.normal(size=(2, 2, 6, 6)),
+        )
+
+    def test_weight_gradient(self):
+        x = Tensor(RNG.normal(size=(2, 2, 5, 5)).astype(np.float32))
+        check_gradient(
+            lambda t: conv2d(x, t, stride=1, padding=1),
+            RNG.normal(size=(3, 2, 3, 3)),
+        )
+
+    def test_bias_gradient(self):
+        x = Tensor(RNG.normal(size=(2, 2, 4, 4)).astype(np.float32))
+        w = Tensor(RNG.normal(size=(3, 2, 3, 3)).astype(np.float32))
+        b = Tensor(RNG.normal(size=3).astype(np.float32), requires_grad=True)
+        out = conv2d(x, w, b, stride=1, padding=1)
+        out.backward(np.ones(out.shape, dtype=np.float32))
+        np.testing.assert_allclose(b.grad, 2 * 4 * 4 * np.ones(3), rtol=1e-5)
+
+    def test_channel_mismatch_raises(self):
+        x = Tensor(np.zeros((1, 3, 4, 4), dtype=np.float32))
+        w = Tensor(np.zeros((2, 2, 3, 3), dtype=np.float32))
+        with pytest.raises(ShapeError):
+            conv2d(x, w)
+
+    def test_empty_output_raises(self):
+        x = Tensor(np.zeros((1, 1, 2, 2), dtype=np.float32))
+        w = Tensor(np.zeros((1, 1, 5, 5), dtype=np.float32))
+        with pytest.raises(ShapeError):
+            conv2d(x, w)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = max_pool2d(Tensor(x), 2).numpy()
+        np.testing.assert_allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_gradient_routes_to_max(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4), requires_grad=True)
+        max_pool2d(x, 2).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        np.testing.assert_allclose(x.grad[0, 0], expected)
+
+    def test_avg_pool_gradient(self):
+        check_gradient(lambda t: avg_pool2d(t, 2), RNG.normal(size=(1, 2, 4, 4)))
+
+    def test_global_avg_pool(self):
+        x = Tensor(np.ones((2, 3, 4, 4), dtype=np.float32))
+        out = global_avg_pool2d(x)
+        assert out.shape == (2, 3)
+        np.testing.assert_allclose(out.numpy(), 1.0)
+
+    def test_pad2d_roundtrip(self):
+        check_gradient(lambda t: pad2d(t, 2), RNG.normal(size=(1, 1, 3, 3)))
+
+
+class TestBatchNorm:
+    def test_training_normalizes(self):
+        x = Tensor(RNG.normal(loc=3.0, scale=2.0, size=(8, 4, 5, 5)).astype(np.float32))
+        gamma = Tensor(np.ones(4, dtype=np.float32))
+        beta = Tensor(np.zeros(4, dtype=np.float32))
+        out, mean, var = batch_norm2d(
+            x, gamma, beta, np.zeros(4), np.ones(4), training=True
+        )
+        normalized = out.numpy()
+        np.testing.assert_allclose(normalized.mean(axis=(0, 2, 3)), 0.0, atol=1e-4)
+        np.testing.assert_allclose(normalized.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+        np.testing.assert_allclose(mean, x.numpy().mean(axis=(0, 2, 3)), rtol=1e-4)
+
+    def test_inference_uses_running_stats(self):
+        x = Tensor(np.full((2, 1, 2, 2), 10.0, dtype=np.float32))
+        gamma = Tensor(np.ones(1, dtype=np.float32))
+        beta = Tensor(np.zeros(1, dtype=np.float32))
+        out, _, _ = batch_norm2d(
+            x, gamma, beta, np.array([10.0]), np.array([4.0]), training=False
+        )
+        np.testing.assert_allclose(out.numpy(), 0.0, atol=1e-5)
+
+    def test_training_input_gradient(self):
+        gamma = Tensor(np.ones(2, dtype=np.float32), requires_grad=True)
+        beta = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+
+        def fn(t):
+            out, _, _ = batch_norm2d(
+                t, gamma, beta, np.zeros(2), np.ones(2), training=True
+            )
+            return out
+
+        check_gradient(fn, RNG.normal(size=(4, 2, 3, 3)))
+
+    def test_gamma_beta_gradients(self):
+        x = Tensor(RNG.normal(size=(4, 2, 3, 3)).astype(np.float32))
+        gamma = Tensor(np.ones(2, dtype=np.float32), requires_grad=True)
+        beta = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+        out, _, _ = batch_norm2d(x, gamma, beta, np.zeros(2), np.ones(2), training=True)
+        out.sum().backward()
+        assert gamma.grad.shape == (2,)
+        np.testing.assert_allclose(beta.grad, 4 * 3 * 3 * np.ones(2), rtol=1e-5)
+
+    def test_non_nchw_raises(self):
+        gamma = Tensor(np.ones(2, dtype=np.float32))
+        beta = Tensor(np.zeros(2, dtype=np.float32))
+        with pytest.raises(ShapeError):
+            batch_norm2d(
+                Tensor(np.zeros((2, 2), dtype=np.float32)),
+                gamma,
+                beta,
+                np.zeros(2),
+                np.ones(2),
+                training=True,
+            )

@@ -1,0 +1,72 @@
+"""Loss-function correctness and stability tests."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.losses import cross_entropy, log_softmax, mse_loss, nll_loss, softmax
+from repro.autodiff.tensor import Tensor
+from repro.errors import ShapeError
+
+from tests.helpers import check_gradient
+
+RNG = np.random.default_rng(3)
+
+
+class TestSoftmax:
+    def test_softmax_sums_to_one(self):
+        probs = softmax(Tensor(RNG.normal(size=(5, 7)).astype(np.float32))).numpy()
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-5)
+        assert (probs >= 0).all()
+
+    def test_log_softmax_stable_for_large_logits(self):
+        logits = Tensor(np.array([[1000.0, 1001.0, 999.0]], dtype=np.float32))
+        out = log_softmax(logits).numpy()
+        assert np.isfinite(out).all()
+
+    def test_log_softmax_gradient(self):
+        check_gradient(lambda t: log_softmax(t), RNG.normal(size=(4, 5)))
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self):
+        logits = RNG.normal(size=(6, 4)).astype(np.float32)
+        labels = np.array([0, 1, 2, 3, 1, 0])
+        loss = cross_entropy(Tensor(logits), labels).item()
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(6), labels].mean()
+        assert loss == pytest.approx(expected, rel=1e-5)
+
+    def test_gradient_matches_numeric(self):
+        labels = np.array([1, 0, 2])
+        check_gradient(lambda t: cross_entropy(t, labels), RNG.normal(size=(3, 4)))
+
+    def test_perfect_prediction_near_zero_loss(self):
+        logits = np.full((2, 3), -50.0, dtype=np.float32)
+        logits[0, 1] = logits[1, 2] = 50.0
+        loss = cross_entropy(Tensor(logits), np.array([1, 2])).item()
+        assert loss < 1e-5
+
+    def test_batch_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            cross_entropy(Tensor(np.zeros((3, 4), dtype=np.float32)), np.array([0, 1]))
+
+    def test_non_2d_logits_raise(self):
+        with pytest.raises(ShapeError):
+            cross_entropy(Tensor(np.zeros(4, dtype=np.float32)), np.array([0]))
+
+
+class TestOtherLosses:
+    def test_nll_equals_cross_entropy(self):
+        logits = Tensor(RNG.normal(size=(4, 5)).astype(np.float32))
+        labels = np.array([0, 2, 4, 1])
+        ce = cross_entropy(logits, labels).item()
+        nll = nll_loss(log_softmax(logits), labels).item()
+        assert ce == pytest.approx(nll, rel=1e-5)
+
+    def test_mse_loss_value_and_gradient(self):
+        prediction = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        loss = mse_loss(prediction, np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+        loss.backward()
+        np.testing.assert_allclose(prediction.grad, [1.0, 2.0])

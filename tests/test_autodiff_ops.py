@@ -1,0 +1,187 @@
+"""Gradient checks and semantics for the elementwise/linear-algebra ops."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.tensor import Tensor, concat, no_grad, stack
+from repro.errors import GradientError, ShapeError
+
+from tests.helpers import check_gradient
+
+RNG = np.random.default_rng(42)
+
+
+def _rand(*shape):
+    return RNG.normal(size=shape)
+
+
+class TestArithmetic:
+    def test_add_gradients(self):
+        b = Tensor(_rand(3, 4).astype(np.float32))
+        check_gradient(lambda t: t + b, _rand(3, 4))
+
+    def test_add_broadcast_gradients(self):
+        b = Tensor(_rand(4).astype(np.float32), requires_grad=True)
+        a = Tensor(_rand(3, 4).astype(np.float32), requires_grad=True)
+        out = a + b
+        out.backward(np.ones((3, 4), dtype=np.float32))
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_allclose(b.grad, 3.0 * np.ones(4))
+
+    def test_sub_and_rsub(self):
+        a = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        out = 5.0 - a
+        out.backward(np.ones(2, dtype=np.float32))
+        np.testing.assert_allclose(a.grad, [-1.0, -1.0])
+
+    def test_mul_gradients(self):
+        b = Tensor(_rand(3, 4).astype(np.float32))
+        check_gradient(lambda t: t * b, _rand(3, 4))
+
+    def test_div_gradients(self):
+        b = Tensor((np.abs(_rand(3, 4)) + 1.0).astype(np.float32))
+        check_gradient(lambda t: t / b, _rand(3, 4))
+
+    def test_rdiv(self):
+        a = Tensor(np.array([2.0, 4.0]), requires_grad=True)
+        out = 8.0 / a
+        out.backward(np.ones(2, dtype=np.float32))
+        np.testing.assert_allclose(a.grad, [-2.0, -0.5])
+
+    def test_neg_and_pow(self):
+        check_gradient(lambda t: -(t**2.0), _rand(5))
+
+    def test_matmul_gradients(self):
+        b = Tensor(_rand(4, 2).astype(np.float32))
+        check_gradient(lambda t: t @ b, _rand(3, 4))
+
+    def test_matmul_both_sides_accumulate(self):
+        a = Tensor(_rand(2, 3).astype(np.float32), requires_grad=True)
+        b = Tensor(_rand(3, 2).astype(np.float32), requires_grad=True)
+        out = (a @ b).sum()
+        out.backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3, 2)
+
+
+class TestElementwise:
+    @pytest.mark.parametrize(
+        "op",
+        [
+            lambda t: t.exp(),
+            lambda t: t.sigmoid(),
+            lambda t: t.tanh(),
+            lambda t: t.relu(),
+            lambda t: t.abs(),
+        ],
+    )
+    def test_unary_gradients(self, op):
+        # Offset from zero to avoid the relu/abs kink.
+        x = _rand(4, 4)
+        x = np.where(np.abs(x) < 0.1, 0.25, x)
+        check_gradient(op, x)
+
+    def test_log_gradient(self):
+        check_gradient(lambda t: t.log(), np.abs(_rand(4, 4)) + 0.5)
+
+    def test_clip_gradient_is_masked(self):
+        a = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        out = a.clip(-1.0, 1.0).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_gradients(self):
+        check_gradient(lambda t: t.sum(axis=1), _rand(3, 5))
+
+    def test_sum_keepdims(self):
+        out = Tensor(_rand(3, 5).astype(np.float32)).sum(axis=0, keepdims=True)
+        assert out.shape == (1, 5)
+
+    def test_mean_gradients(self):
+        check_gradient(lambda t: t.mean(axis=(0, 2)), _rand(2, 3, 4))
+
+    def test_max_gradient_goes_to_argmax(self):
+        a = Tensor(np.array([[1.0, 5.0, 3.0]]), requires_grad=True)
+        a.max(axis=1).backward(np.ones(1, dtype=np.float32))
+        np.testing.assert_allclose(a.grad, [[0.0, 1.0, 0.0]])
+
+    def test_max_ties_split_gradient(self):
+        a = Tensor(np.array([[2.0, 2.0]]), requires_grad=True)
+        a.max(axis=1).backward(np.ones(1, dtype=np.float32))
+        np.testing.assert_allclose(a.grad, [[0.5, 0.5]])
+
+    def test_reshape_roundtrip_gradient(self):
+        check_gradient(lambda t: t.reshape(6, 2), _rand(3, 4))
+
+    def test_transpose_gradient(self):
+        check_gradient(lambda t: t.transpose(1, 0, 2), _rand(2, 3, 4))
+
+    def test_getitem_gradient_scatters(self):
+        a = Tensor(_rand(4, 4).astype(np.float32), requires_grad=True)
+        out = a[1:3, :2].sum()
+        out.backward()
+        expected = np.zeros((4, 4))
+        expected[1:3, :2] = 1.0
+        np.testing.assert_allclose(a.grad, expected)
+
+    def test_stack_and_concat_gradients(self):
+        a = Tensor(_rand(2, 3).astype(np.float32), requires_grad=True)
+        b = Tensor(_rand(2, 3).astype(np.float32), requires_grad=True)
+        stack([a, b], axis=0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+        a.zero_grad()
+        concat([a, b], axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+
+class TestTapeSemantics:
+    def test_backward_requires_scalar_or_gradient(self):
+        a = Tensor(_rand(3).astype(np.float32), requires_grad=True)
+        with pytest.raises(GradientError):
+            (a * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(GradientError):
+            Tensor(np.ones(3)).backward()
+
+    def test_gradient_accumulates_across_backward_calls(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        (a * 2).sum().backward()
+        (a * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_no_grad_suppresses_tape(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        b = a * 2
+        out = (b + b).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_shared_leaf_in_two_branches(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        out = (a * a).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_detach_cuts_the_tape(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        out = (a.detach() * a).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, [2.0])
+
+    def test_deep_chain_does_not_overflow(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        out = a
+        for _ in range(3000):
+            out = out + 0.0
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0])

@@ -1,0 +1,105 @@
+"""Core layer: training loop, model cache, experiment scaling, RNG utils."""
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import ExperimentScale, format_table2
+from repro.core.training import TrainingConfig, evaluate_accuracy, train_model
+from repro.data.dataset import ArrayDataset
+from repro.utils.rng import new_rng, spawn_rngs
+
+from tests.conftest import TinyCNN
+
+
+class TestTraining:
+    def test_training_reduces_loss(self, tiny_dataset):
+        model = TinyCNN(rng=0)
+        history = train_model(
+            model, tiny_dataset, TrainingConfig(epochs=3, batch_size=16, learning_rate=0.05)
+        )
+        assert len(history) == 3
+        assert history[-1] < history[0]
+        assert not model.training  # left in eval mode
+
+    def test_evaluate_accuracy_bounds(self, tiny_dataset):
+        model = TinyCNN(rng=0)
+        accuracy = evaluate_accuracy(model, tiny_dataset)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_evaluate_accuracy_empty(self):
+        empty = ArrayDataset(np.zeros((0, 3, 16, 16)), np.zeros(0))
+        assert evaluate_accuracy(TinyCNN(rng=0), empty) == 0.0
+
+
+class TestModelCache:
+    def test_pretrained_model_caches_to_disk(self, tmp_path):
+        from repro.core.training import pretrained_quantized_model
+
+        first, _, _, _ = pretrained_quantized_model(
+            "resnet20", width=0.25, epochs=1, seed=123, cache_dir=tmp_path
+        )
+        assert list(tmp_path.glob("*.npz"))
+        second, _, _, _ = pretrained_quantized_model(
+            "resnet20", width=0.25, epochs=1, seed=123, cache_dir=tmp_path
+        )
+        np.testing.assert_array_equal(first.flat_int8(), second.flat_int8())
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        from repro.core.training import pretrained_quantized_model
+
+        with pytest.raises(ValueError):
+            pretrained_quantized_model("resnet20", dataset="mnist", cache_dir=tmp_path)
+
+
+class TestExperimentScale:
+    def test_presets(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        tiny = ExperimentScale.from_env()
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        full = ExperimentScale.from_env()
+        assert tiny.attack_iterations < full.attack_iterations
+        assert tiny.width <= full.width
+
+    def test_default_is_small(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert ExperimentScale.from_env() == ExperimentScale()
+
+    def test_invalid_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "huge")
+        with pytest.raises(ValueError):
+            ExperimentScale.from_env()
+
+    def test_format_table2_layout(self):
+        rows = [
+            {
+                "method": "CFT+BR",
+                "offline_n_flip": 10,
+                "offline_ta": 91.24,
+                "offline_asr": 94.62,
+                "online_n_flip": 10,
+                "online_ta": 89.04,
+                "online_asr": 92.67,
+                "r_match": 99.99,
+            }
+        ]
+        table = format_table2(rows)
+        assert "CFT+BR" in table
+        assert "99.99" in table
+
+
+class TestRngUtils:
+    def test_new_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert new_rng(rng) is rng
+
+    def test_new_rng_from_int_deterministic(self):
+        assert new_rng(5).integers(0, 100) == new_rng(5).integers(0, 100)
+
+    def test_spawn_rngs_independent(self):
+        children = spawn_rngs(7, 3)
+        draws = [c.integers(0, 2**32) for c in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_rngs_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

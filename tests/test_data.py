@@ -1,0 +1,115 @@
+"""Datasets, loaders and the synthetic task generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.data.synthetic import (
+    SyntheticImageClassification,
+    SyntheticSpec,
+    make_cifar10_like,
+    make_imagenet_like,
+)
+
+
+class TestArrayDataset:
+    def test_basic_indexing(self):
+        ds = ArrayDataset(np.zeros((5, 3, 4, 4)), np.arange(5))
+        assert len(ds) == 5
+        image, label = ds[2]
+        assert image.shape == (3, 4, 4)
+        assert label == 2
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((5, 3, 4, 4)), np.arange(4))
+
+    def test_non_nchw_raises(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((5, 4)), np.arange(5))
+
+    def test_subset_and_sample(self):
+        ds = ArrayDataset(np.arange(5 * 3 * 2 * 2).reshape(5, 3, 2, 2), np.arange(5))
+        sub = ds.subset(np.array([0, 4]))
+        assert len(sub) == 2
+        assert sub.labels.tolist() == [0, 4]
+        sampled = ds.sample(3, rng=0)
+        assert len(sampled) == 3
+        with pytest.raises(ValueError):
+            ds.sample(10)
+
+
+class TestDataLoader:
+    def test_batches_cover_dataset(self):
+        ds = ArrayDataset(np.zeros((10, 1, 2, 2)), np.arange(10))
+        loader = DataLoader(ds, batch_size=3)
+        labels = np.concatenate([labels for _, labels in loader])
+        assert sorted(labels.tolist()) == list(range(10))
+        assert len(loader) == 4
+
+    def test_drop_last(self):
+        ds = ArrayDataset(np.zeros((10, 1, 2, 2)), np.arange(10))
+        loader = DataLoader(ds, batch_size=3, drop_last=True)
+        assert len(loader) == 3
+        assert sum(len(lbl) for _, lbl in loader) == 9
+
+    def test_shuffle_changes_order_deterministically(self):
+        ds = ArrayDataset(np.zeros((10, 1, 2, 2)), np.arange(10))
+        first = np.concatenate([l for _, l in DataLoader(ds, 10, shuffle=True, rng=0)])
+        second = np.concatenate([l for _, l in DataLoader(ds, 10, shuffle=True, rng=0)])
+        np.testing.assert_array_equal(first, second)
+        assert not np.array_equal(first, np.arange(10))
+
+    def test_invalid_batch_size(self):
+        ds = ArrayDataset(np.zeros((2, 1, 2, 2)), np.zeros(2))
+        with pytest.raises(ValueError):
+            DataLoader(ds, batch_size=0)
+
+
+class TestSyntheticTask:
+    def test_determinism_across_instances(self):
+        spec = SyntheticSpec(num_classes=3, image_size=8)
+        a = SyntheticImageClassification(spec, seed=5).generate(10, "train")
+        b = SyntheticImageClassification(spec, seed=5).generate(10, "train")
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_splits_are_disjoint_streams(self):
+        task = SyntheticImageClassification(SyntheticSpec(num_classes=3, image_size=8), seed=5)
+        train = task.generate(20, "train")
+        test = task.generate(20, "test")
+        assert not np.allclose(train.images, test.images)
+
+    def test_unknown_split_raises(self):
+        task = SyntheticImageClassification(seed=0)
+        with pytest.raises(ValueError):
+            task.generate(4, "validation")
+
+    def test_images_are_valid(self):
+        task = SyntheticImageClassification(SyntheticSpec(num_classes=4, image_size=16), seed=1)
+        ds = task.generate(30, "train")
+        assert ds.images.shape == (30, 3, 16, 16)
+        assert ds.images.min() >= 0.0 and ds.images.max() <= 1.0
+        assert set(np.unique(ds.labels)) <= set(range(4))
+
+    def test_classes_are_distinguishable_by_prototype_distance(self):
+        # Same-class samples should be closer to their class prototype bank
+        # than to other classes' banks, on average.
+        spec = SyntheticSpec(num_classes=3, image_size=16, noise_std=0.05, max_shift=0)
+        task = SyntheticImageClassification(spec, seed=2)
+        ds = task.generate(60, "train")
+        protos = task._prototypes.mean(axis=1)  # (classes, C, H, W)
+        correct = 0
+        for image, label in zip(ds.images, ds.labels):
+            distances = [np.linalg.norm(image - proto) for proto in protos]
+            correct += int(np.argmin(distances) == label)
+        assert correct / len(ds) > 0.8
+
+    def test_factory_functions(self):
+        train, test, attacker = make_cifar10_like(train_count=8, test_count=4, attacker_count=2)
+        assert len(train) == 8 and len(test) == 4 and len(attacker) == 2
+        assert train.images.shape[1:] == (3, 32, 32)
+        train_i, _, _ = make_imagenet_like(
+            train_count=6, test_count=3, attacker_count=2, num_classes=12, image_size=16
+        )
+        assert train_i.images.shape[1:] == (3, 16, 16)

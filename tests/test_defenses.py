@@ -1,0 +1,206 @@
+"""Defense mechanics: each countermeasure's detection/prevention behavior."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.tensor import Tensor
+from repro.defenses import (
+    BinarizedConv2d,
+    BinarizedLinear,
+    DeepDyveGuard,
+    RadarDetector,
+    SentiNetDetector,
+    WeightEncodingDetector,
+    WeightReconstructionDefense,
+    binarize_network,
+    encoding_overhead_estimate,
+    pwc_penalty,
+)
+from repro.defenses.binarization import binarized_page_count, binarize_weights
+from repro.defenses.clustering import cluster_tightness
+from repro.nn import Conv2d, Linear
+from repro.quant import QuantizedModel
+
+from tests.conftest import TinyCNN
+
+
+class TestBinarization:
+    def test_binarize_weights_values(self):
+        w = Tensor(np.array([0.5, -0.25, 0.75], dtype=np.float32), requires_grad=True)
+        out = binarize_weights(w)
+        scale = 0.5
+        np.testing.assert_allclose(out.numpy(), [scale, -scale, scale])
+
+    def test_straight_through_gradient(self):
+        w = Tensor(np.array([0.5, -2.0], dtype=np.float32), requires_grad=True)
+        binarize_weights(w).sum().backward()
+        np.testing.assert_allclose(w.grad, [1.0, 0.0])  # |w|>1 is masked
+
+    def test_binarize_network_swaps_layers(self, tiny_model):
+        converted = binarize_network(tiny_model)
+        assert converted == 5  # three convs + two linears
+        assert isinstance(tiny_model.conv1, BinarizedConv2d)
+        assert isinstance(tiny_model.fc, BinarizedLinear)
+        # Still runs forward.
+        out = tiny_model(Tensor(np.zeros((1, 3, 16, 16), dtype=np.float32)))
+        assert out.shape == (1, 4)
+
+    def test_binarization_shrinks_page_count_8x(self, tiny_model):
+        # int8 deployment: 1 byte/weight; binarized: 1 bit/weight.
+        int8_pages = (tiny_model.num_parameters() + 4095) // 4096
+        assert binarized_page_count(tiny_model) <= max(1, int8_pages // 4)
+
+
+class TestPWC:
+    def test_penalty_zero_for_two_point_distribution(self):
+        layer = Linear(4, 4, bias=False, rng=0)
+        layer.weight.data = np.where(
+            np.random.default_rng(0).random((4, 4)) > 0.5, 0.3, -0.3
+        ).astype(np.float32)
+        assert pwc_penalty(layer).item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_penalty_positive_for_spread_weights(self):
+        layer = Linear(8, 8, bias=False, rng=0)
+        assert pwc_penalty(layer).item() > 0
+
+    def test_penalty_gradient_tightens_clusters(self):
+        layer = Linear(16, 16, bias=False, rng=0)
+        before = cluster_tightness(layer)
+        for _ in range(50):
+            layer.zero_grad()
+            pwc_penalty(layer).backward()
+            layer.weight.data = layer.weight.data - 0.05 * layer.weight.grad
+        assert cluster_tightness(layer) < before * 0.5
+
+    def test_requires_weight_tensor(self):
+        from repro.nn import ReLU
+
+        with pytest.raises(ValueError):
+            pwc_penalty(ReLU())
+
+
+class TestDeepDyve:
+    def test_agreement_passes_through(self, tiny_dataset):
+        model = TinyCNN(rng=0)
+        guard = DeepDyveGuard(model, model)  # identical checker
+        predictions, stats = guard.predict(tiny_dataset.images[:16])
+        assert stats.alarms == 0
+        assert len(predictions) == 16
+
+    def test_persistent_fault_survives_rerun(self, tiny_dataset):
+        deployed = TinyCNN(rng=0)
+        checker = TinyCNN(rng=1)
+        # Force disagreement: the "faulty" deployed model always answers 1,
+        # the clean checker always answers 3.
+        deployed.fc.bias.data = deployed.fc.bias.data + np.array([0, 100, 0, 0], np.float32)
+        checker.fc.bias.data = checker.fc.bias.data + np.array([0, 0, 0, 100], np.float32)
+        guard = DeepDyveGuard(deployed, checker)
+        predictions, stats = guard.predict(tiny_dataset.images[:32])
+        # Wherever there was an alarm, the deployed model's (persistent)
+        # answer is still what comes out.
+        from repro.autodiff import no_grad
+
+        with no_grad():
+            direct = deployed(Tensor(tiny_dataset.images[:32])).numpy().argmax(1)
+        np.testing.assert_array_equal(predictions, direct)
+        assert stats.alarms > 0  # different models must disagree somewhere
+        assert stats.alarm_rate == stats.alarms / 32
+
+
+class TestWeightEncoding:
+    def test_detects_flip_in_protected_layer(self, tiny_quantized):
+        detector = WeightEncodingDetector(tiny_quantized, rng=0)
+        protected = detector.protected_layers[0]
+        flat_index = tiny_quantized.offset_of(protected)
+        tiny_quantized.apply_bit_flip(flat_index, 5)
+        assert detector.detect(tiny_quantized) == [protected]
+
+    def test_misses_flip_outside_protection(self, tiny_quantized):
+        detector = WeightEncodingDetector(tiny_quantized, rng=0)
+        protected = set(detector.protected_layers)
+        victim = next(n for n in tiny_quantized.parameter_names if n not in protected)
+        tiny_quantized.apply_bit_flip(tiny_quantized.offset_of(victim), 5)
+        assert detector.detect(tiny_quantized) == []
+
+    def test_coverage_is_partial_by_default(self, tiny_quantized):
+        detector = WeightEncodingDetector(tiny_quantized, rng=0)
+        assert 0.0 < detector.coverage(tiny_quantized) < 1.0
+
+    def test_overhead_estimates_scale(self):
+        small = encoding_overhead_estimate(1_000_000)
+        reference = encoding_overhead_estimate(21_779_648)
+        assert reference.execution_seconds == pytest.approx(834.27)
+        assert reference.storage_megabytes == pytest.approx(374.86)
+        assert small.execution_seconds < reference.execution_seconds
+
+
+class TestRadar:
+    def test_detects_msb_flip(self, tiny_quantized):
+        detector = RadarDetector(tiny_quantized, group_size=64, protected_bits=(7,))
+        tiny_quantized.apply_bit_flip(10, 7)
+        report = detector.check(tiny_quantized)
+        assert report.detected
+        assert 10 // 64 in report.flagged_groups
+
+    def test_misses_low_bit_flip(self, tiny_quantized):
+        detector = RadarDetector(tiny_quantized, group_size=64, protected_bits=(7,))
+        tiny_quantized.apply_bit_flip(10, 3)
+        assert not detector.check(tiny_quantized).detected
+
+    def test_full_protection_catches_everything(self, tiny_quantized):
+        detector = RadarDetector(tiny_quantized, group_size=64, protected_bits=tuple(range(8)))
+        tiny_quantized.apply_bit_flip(10, 0)
+        assert detector.check(tiny_quantized).detected
+        assert detector.time_overhead_percent == pytest.approx(40.11)
+
+    def test_invalid_args(self, tiny_quantized):
+        with pytest.raises(ValueError):
+            RadarDetector(tiny_quantized, group_size=0)
+        with pytest.raises(ValueError):
+            RadarDetector(tiny_quantized, protected_bits=(9,))
+
+
+class TestWeightReconstruction:
+    def test_clips_outlier_flip(self, tiny_quantized):
+        defense = WeightReconstructionDefense(tiny_quantized, num_sigmas=3.0)
+        # A sign-bit flip creates a far outlier in its group.
+        tiny_quantized.apply_bit_flip(5, 7)
+        clipped = defense.reconstruct(tiny_quantized)
+        assert clipped >= 1
+
+    def test_no_clipping_on_clean_model(self, tiny_quantized):
+        defense = WeightReconstructionDefense(tiny_quantized, num_sigmas=6.0)
+        assert defense.reconstruct(tiny_quantized) == 0
+
+    def test_in_range_flip_survives(self, tiny_quantized):
+        defense = WeightReconstructionDefense(tiny_quantized, num_sigmas=3.0)
+        before = tiny_quantized.flat_int8()
+        tiny_quantized.apply_bit_flip(5, 0)  # LSB: tiny change, in range
+        defense.reconstruct(tiny_quantized)
+        after = tiny_quantized.flat_int8()
+        assert after[5] != before[5]
+
+    def test_invalid_sigma(self, tiny_quantized):
+        from repro.errors import DefenseError
+
+        with pytest.raises(DefenseError):
+            WeightReconstructionDefense(tiny_quantized, num_sigmas=0)
+
+
+class TestSentiNet:
+    def test_analyze_returns_bounded_score(self, tiny_dataset):
+        model = TinyCNN(rng=0)
+        detector = SentiNetDetector(model, tiny_dataset.images[:16])
+        verdict = detector.analyze(tiny_dataset.images[20])
+        assert 0.0 <= verdict.fooled_fraction <= 1.0
+        assert isinstance(verdict.flagged, bool)
+
+    def test_false_positive_rate_bounded(self, tiny_dataset):
+        model = TinyCNN(rng=0)
+        detector = SentiNetDetector(model, tiny_dataset.images[:8])
+        rate = detector.false_positive_rate(tiny_dataset.images[8:12])
+        assert 0.0 <= rate <= 1.0
+
+    def test_invalid_quantile(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            SentiNetDetector(TinyCNN(rng=0), tiny_dataset.images[:4], saliency_quantile=1.5)

@@ -1,0 +1,173 @@
+"""Extension modules: Plundervolt, huge pages, attack time, distillation,
+serialization and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.attack_time import (
+    DEEPHAMMER_SECONDS_PER_ROW,
+    estimate_attack_time,
+    related_work_comparison,
+)
+from repro.faults import PlundervoltCPU, UndervoltConfig
+from repro.memory.geometry import DRAMGeometry
+from repro.memory.hugepages import (
+    HUGE_PAGE_BYTES,
+    expected_flips_in_huge_page,
+    fragment_huge_page,
+    profilable_4k_pages,
+)
+
+from tests.conftest import TinyCNN
+
+
+class TestPlundervolt:
+    def test_poc_faults_in_faulty_regime(self):
+        cpu = PlundervoltCPU(UndervoltConfig(undervolt_mv=250.0), rng=0)
+        faults = cpu.run_poc(iterations=500)
+        assert faults > 0
+
+    def test_no_faults_at_nominal_voltage(self):
+        cpu = PlundervoltCPU(UndervoltConfig(undervolt_mv=50.0), rng=0)
+        assert cpu.run_poc(iterations=500) == 0
+
+    def test_small_operands_never_fault(self):
+        cpu = PlundervoltCPU(UndervoltConfig(undervolt_mv=500.0), rng=0)
+        for _ in range(200):
+            out = cpu.multiply(
+                np.array([123], dtype=np.int64),
+                np.array([255], dtype=np.int64),  # <= 0xFFFF: quantized bound
+                in_loop=True,
+            )
+            assert out[0] == 123 * 255
+        assert cpu.fault_count == 0
+
+    def test_tensor_operands_never_fault(self):
+        cpu = PlundervoltCPU(UndervoltConfig(undervolt_mv=500.0), rng=0)
+        a = np.full((4, 4), 1_000_000, dtype=np.int64)
+        out = cpu.matmul(a, a)
+        np.testing.assert_array_equal(out, a @ a)
+        assert cpu.fault_count == 0
+
+    def test_quantized_inference_is_fault_free(self, tiny_quantized, tiny_dataset):
+        """Appendix F's negative result: int8 DNN inference cannot be faulted."""
+        cpu = PlundervoltCPU(UndervoltConfig(undervolt_mv=400.0), rng=0)
+        predictions, faults = cpu.run_quantized_inference(
+            tiny_quantized, tiny_dataset.images[:16]
+        )
+        assert faults == 0
+        assert predictions.shape == (16,)
+
+
+class TestHugePages:
+    def test_paper_example_64_banks(self):
+        """Section VIII: 64 banks fragment a 2 MB page into 64 x 4-row chunks."""
+        geometry = DRAMGeometry(num_banks=64, rows_per_bank=4096, row_size_bytes=8192)
+        frag = fragment_huge_page(geometry)
+        assert frag.num_chunks == 64
+        assert frag.rows_per_chunk == 4
+        assert not frag.single_row_chunks
+
+    def test_more_banks_shrink_chunks_to_single_rows(self):
+        geometry = DRAMGeometry(num_banks=256, rows_per_bank=4096, row_size_bytes=8192)
+        frag = fragment_huge_page(geometry)
+        assert frag.single_row_chunks
+
+    def test_profiling_granularity(self):
+        assert profilable_4k_pages() == 512
+        # Paper: 512 flips in 2 MB at 1 flip/4K page "still practical".
+        assert expected_flips_in_huge_page(1.0) == 512.0
+
+    def test_misaligned_huge_page_rejected(self):
+        geometry = DRAMGeometry(num_banks=4, rows_per_bank=64, row_size_bytes=8192)
+        with pytest.raises(ValueError):
+            fragment_huge_page(geometry, huge_page_bytes=5000)
+
+
+class TestAttackTime:
+    def test_paper_anchor_times(self):
+        estimate = estimate_attack_time(n_flip=10, n_sides=7)
+        assert estimate.seconds_per_row == pytest.approx(0.4)
+        assert estimate.online_seconds == pytest.approx(4.0)
+        assert estimate.profiling_minutes == pytest.approx(94.0)
+
+    def test_15_sided_costs_double(self):
+        assert estimate_attack_time(1, n_sides=15).seconds_per_row == pytest.approx(0.8)
+
+    def test_related_work_comparison_shape(self):
+        rows = related_work_comparison(n_flip=10)
+        by_method = {row["method"]: row for row in rows}
+        assert by_method["DeepHammer"]["seconds_per_row"] == DEEPHAMMER_SECONDS_PER_ROW
+        # Only this work is stealthy (clean accuracy preserved).
+        assert by_method["CFT+BR (this work)"]["stealthy"]
+        assert not by_method["DeepHammer"]["stealthy"]
+        assert (
+            by_method["CFT+BR (this work)"]["post_attack_clean_accuracy"]
+            > 5 * by_method["DeepHammer"]["post_attack_clean_accuracy"]
+        )
+
+
+class TestDistillation:
+    def test_distillation_improves_agreement(self, tiny_dataset):
+        from repro.defenses.distillation import agreement_rate, distill_checker
+
+        teacher = TinyCNN(rng=0)
+        # Give the teacher a decisive (non-uniform) behaviour to imitate.
+        teacher.fc.bias.data = teacher.fc.bias.data + np.array([3, 0, 0, 0], np.float32)
+        student = TinyCNN(rng=9)
+        before = agreement_rate(teacher, student, tiny_dataset)
+        losses = distill_checker(teacher, student, tiny_dataset, epochs=4, learning_rate=5e-3)
+        after = agreement_rate(teacher, student, tiny_dataset)
+        assert losses[-1] < losses[0]
+        assert after >= before
+
+    def test_guard_construction(self, tiny_dataset):
+        from repro.defenses.distillation import build_deepdyve_guard
+
+        guard = build_deepdyve_guard(
+            TinyCNN(rng=0), TinyCNN(rng=1), tiny_dataset, epochs=1
+        )
+        predictions, stats = guard.predict(tiny_dataset.images[:8])
+        assert len(predictions) == 8
+        assert stats.total == 8
+
+
+class TestSerialization:
+    def test_offline_result_roundtrip(self, tmp_path, tiny_quantized, tiny_dataset):
+        from repro.attacks import AttackConfig, CFTAttack
+        from repro.utils.serialization import load_offline_result, save_offline_result
+
+        config = AttackConfig(
+            target_class=1, iterations=6, n_flip_budget=2, batch_size=16,
+            trigger_size=4, seed=0,
+        )
+        result = CFTAttack(config).run(tiny_quantized, tiny_dataset)
+        path = tmp_path / "plan.npz"
+        save_offline_result(result, path)
+        loaded = load_offline_result(path)
+        np.testing.assert_array_equal(loaded.backdoored_weights, result.backdoored_weights)
+        np.testing.assert_array_equal(loaded.trigger.pattern, result.trigger.pattern)
+        assert loaded.n_flip == result.n_flip
+        assert loaded.method == result.method
+
+
+class TestCLI:
+    def test_devices_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "K1" in out and "100.68" in out
+
+    def test_probability_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["probability", "--flips-per-page", "34", "--pages", "32768"]) == 0
+        out = capsys.readouterr().out
+        assert "k+l=1" in out and "k+l=3" in out
+
+    def test_parser_rejects_unknown_command(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])

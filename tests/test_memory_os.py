@@ -1,0 +1,153 @@
+"""Frame cache, page cache and the mmap placement model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.memory.frame_cache import PageFrameCache
+from repro.memory.geometry import PAGE_FRAME_SIZE
+from repro.memory.page_cache import PageCache
+
+
+class TestPageFrameCache:
+    def test_filo_order(self):
+        cache = PageFrameCache()
+        for frame in (1, 2, 3):
+            cache.release(frame)
+        assert [cache.allocate() for _ in range(3)] == [3, 2, 1]
+
+    def test_double_release_raises(self):
+        cache = PageFrameCache()
+        cache.release(1)
+        with pytest.raises(MemoryModelError):
+            cache.release(1)
+
+    def test_release_after_reallocate_allowed(self):
+        cache = PageFrameCache()
+        cache.release(1)
+        assert cache.allocate() == 1
+        cache.release(1)  # fine again
+        assert len(cache) == 1
+
+    def test_empty_allocation_raises(self):
+        with pytest.raises(MemoryModelError):
+            PageFrameCache().allocate()
+
+    def test_peek_matches_allocation_order(self):
+        cache = PageFrameCache()
+        for frame in (5, 6, 7):
+            cache.release(frame)
+        assert cache.peek_allocation_order() == [7, 6, 5]
+
+    def test_duplicate_initial_frames_raise(self):
+        with pytest.raises(MemoryModelError):
+            PageFrameCache([1, 1])
+
+
+class TestPageCache:
+    def test_insert_lookup_evict(self):
+        cache = PageCache()
+        cache.insert("f", 0, 42)
+        assert cache.lookup("f", 0) == 42
+        assert cache.evict("f", 0) == 42
+        assert cache.lookup("f", 0) is None
+
+    def test_double_insert_raises(self):
+        cache = PageCache()
+        cache.insert("f", 0, 1)
+        with pytest.raises(MemoryModelError):
+            cache.insert("f", 0, 2)
+
+    def test_dirty_tracking(self):
+        cache = PageCache()
+        cache.insert("f", 0, 1)
+        assert not cache.is_dirty("f", 0)
+        cache.mark_dirty("f", 0)
+        assert cache.is_dirty("f", 0)
+
+    def test_evict_file(self):
+        cache = PageCache()
+        cache.insert("a", 0, 1)
+        cache.insert("a", 1, 2)
+        cache.insert("b", 0, 3)
+        cache.evict_file("a")
+        assert cache.cached_pages("a") == {}
+        assert cache.cached_pages("b") == {0: 3}
+
+
+class TestOSMemoryModel:
+    def test_anonymous_mapping_is_zeroed(self, os_model):
+        mapping = os_model.mmap_anonymous(4)
+        assert mapping.num_pages == 4
+        for page in range(4):
+            assert (os_model.read_page(mapping, page) == 0).all()
+
+    def test_file_mapping_reads_file_content(self, os_model):
+        content = bytes(range(256)) * 20  # 5120 bytes -> 2 pages
+        os_model.register_file("w", content)
+        mapping = os_model.mmap_file("w")
+        assert mapping.num_pages == 2
+        data = os_model.read_mapping(mapping)
+        assert data[: len(content)] == content
+
+    def test_file_pages_stay_cached_after_munmap(self, os_model):
+        os_model.register_file("w", b"\x01" * PAGE_FRAME_SIZE)
+        mapping = os_model.mmap_file("w")
+        frame = mapping.frame_of(0)
+        os_model.munmap(mapping)
+        remapped = os_model.mmap_file("w")
+        assert remapped.frame_of(0) == frame  # page-cache hit, same frame
+
+    def test_rowhammer_corruption_survives_remap_without_dirty_bit(self, os_model):
+        os_model.register_file("w", b"\x00" * PAGE_FRAME_SIZE)
+        mapping = os_model.mmap_file("w")
+        frame = mapping.frame_of(0)
+        # Flip a bit directly in DRAM, as Rowhammer does (no CPU write).
+        page = os_model.dram.read_frame(frame)
+        page[10] |= 1
+        os_model.dram.write_frame(frame, page)
+        os_model.munmap(mapping)
+        fresh = os_model.mmap_file("w")
+        assert os_model.read_page(fresh, 0)[10] == 1
+        assert not os_model.page_cache.is_dirty("w", 0)
+
+    def test_cpu_write_sets_dirty_bit(self, os_model):
+        os_model.register_file("w", b"\x00" * PAGE_FRAME_SIZE)
+        mapping = os_model.mmap_file("w")
+        os_model.write_page(mapping, 0, np.ones(PAGE_FRAME_SIZE, dtype=np.uint8))
+        assert os_model.page_cache.is_dirty("w", 0)
+
+    def test_filo_reallocation_reverses_mapping(self, os_model):
+        """Figure 4: first file pages land on the last released frames."""
+        buffer = os_model.mmap_anonymous(6)
+        released = [buffer.frames[page] for page in range(6)]
+        for page in range(6):
+            os_model.munmap_page(buffer, page)
+        os_model.register_file("w", b"\x05" * (PAGE_FRAME_SIZE * 6))
+        mapping = os_model.mmap_file("w")
+        got = [mapping.frame_of(page) for page in range(6)]
+        assert got == list(reversed(released))
+
+    def test_drop_file_cache_releases_frames(self, os_model):
+        os_model.register_file("w", b"\x00" * PAGE_FRAME_SIZE)
+        mapping = os_model.mmap_file("w")
+        frame = mapping.frame_of(0)
+        os_model.munmap(mapping)
+        os_model.drop_file_cache("w")
+        assert os_model.frame_cache.contains(frame)
+
+    def test_unknown_file_raises(self, os_model):
+        with pytest.raises(MemoryModelError):
+            os_model.mmap_file("missing")
+
+    def test_duplicate_file_registration_raises(self, os_model):
+        os_model.register_file("w", b"x")
+        with pytest.raises(MemoryModelError):
+            os_model.register_file("w", b"y")
+
+    def test_out_of_memory_raises(self, small_dram):
+        from repro.memory.mmap import OSMemoryModel
+
+        os_model = OSMemoryModel(small_dram, rng=0)
+        with pytest.raises(MemoryModelError):
+            os_model.mmap_anonymous(small_dram.geometry.total_frames + 1)

@@ -1,0 +1,109 @@
+"""Architecture shape/structure tests for the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.tensor import Tensor
+from repro.models import (
+    MODEL_REGISTRY,
+    build_model,
+    resnet18,
+    resnet20,
+    resnet32,
+    resnet34,
+    resnet50,
+    vgg11,
+    vgg16,
+)
+
+
+def forward_shape(model, size=32):
+    out = model(Tensor(np.zeros((2, 3, size, size), dtype=np.float32)))
+    return out.shape
+
+
+class TestResNets:
+    @pytest.mark.parametrize(
+        "factory,blocks",
+        [(resnet20, 20), (resnet32, 32)],
+    )
+    def test_cifar_resnet_layer_count(self, factory, blocks):
+        # CIFAR ResNet-n has (n - 2) conv layers in blocks + stem + fc.
+        model = factory(width=0.25, rng=0)
+        conv_layers = sum(
+            1 for name, _ in model.named_parameters() if "conv" in name and name.endswith("weight")
+        )
+        assert conv_layers >= (blocks - 2)
+
+    def test_resnet20_output_shape(self):
+        assert forward_shape(resnet20(width=0.25, rng=0)) == (2, 10)
+
+    def test_resnet18_output_shape(self):
+        assert forward_shape(resnet18(width=0.125, rng=0)) == (2, 10)
+
+    def test_resnet50_uses_bottleneck_expansion(self):
+        model = resnet50(width=0.125, rng=0)
+        assert forward_shape(model) == (2, 10)
+
+    def test_width_scales_parameter_count(self):
+        narrow = resnet20(width=0.25, rng=0).num_parameters()
+        wide = resnet20(width=0.5, rng=0).num_parameters()
+        assert wide > 2.5 * narrow
+
+    def test_num_classes_controls_head(self):
+        model = resnet20(num_classes=7, width=0.25, rng=0)
+        assert forward_shape(model) == (2, 7)
+
+    def test_feature_head_split_consistent(self):
+        model = resnet20(width=0.25, rng=0)
+        x = Tensor(np.random.default_rng(0).random((1, 3, 32, 32)).astype(np.float32))
+        model.eval()
+        direct = model(x).numpy()
+        split = model.forward_head(model.forward_features(x)).numpy()
+        np.testing.assert_allclose(direct, split, rtol=1e-5)
+
+    def test_deterministic_init_with_seed(self):
+        a = resnet20(width=0.25, rng=5)
+        b = resnet20(width=0.25, rng=5)
+        np.testing.assert_array_equal(a.conv1.weight.data, b.conv1.weight.data)
+
+
+class TestVGG:
+    def test_vgg11_shape(self):
+        assert forward_shape(vgg11(width=0.125, rng=0)) == (2, 10)
+
+    def test_vgg16_deeper_than_vgg11(self):
+        shallow = sum(1 for _ in vgg11(width=0.125, rng=0).named_parameters())
+        deep = sum(1 for _ in vgg16(width=0.125, rng=0).named_parameters())
+        assert deep > shallow
+
+    def test_vgg_feature_split(self):
+        model = vgg11(width=0.125, rng=0)
+        model.eval()
+        x = Tensor(np.random.default_rng(1).random((1, 3, 32, 32)).astype(np.float32))
+        np.testing.assert_allclose(
+            model(x).numpy(),
+            model.forward_head(model.forward_features(x)).numpy(),
+            rtol=1e-5,
+        )
+
+
+class TestRegistry:
+    def test_all_expected_models_registered(self):
+        assert set(MODEL_REGISTRY) == {
+            "resnet18",
+            "resnet20",
+            "resnet32",
+            "resnet34",
+            "resnet50",
+            "vgg11",
+            "vgg16",
+        }
+
+    def test_build_model(self):
+        model = build_model("resnet20", num_classes=5, width=0.25, rng=0)
+        assert forward_shape(model) == (2, 5)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet")

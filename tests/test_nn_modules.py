@@ -1,0 +1,123 @@
+"""Module system, layers and parameter bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.tensor import Tensor
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.nn.module import Module, Parameter
+
+
+class TestParameterRegistration:
+    def test_named_parameters_are_hierarchical(self):
+        seq = Sequential(Linear(4, 3, rng=0), ReLU(), Linear(3, 2, rng=0))
+        names = [name for name, _ in seq.named_parameters()]
+        assert names == ["m0.weight", "m0.bias", "m2.weight", "m2.bias"]
+
+    def test_num_parameters(self):
+        layer = Linear(4, 3, rng=0)
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_zero_grad_clears_all(self):
+        layer = Linear(2, 2, rng=0)
+        out = layer(Tensor(np.ones((1, 2), dtype=np.float32))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(BatchNorm2d(3), Sequential(BatchNorm2d(3)))
+        seq.eval()
+        assert not seq[0].training
+        assert not seq[1][0].training
+        seq.train()
+        assert seq[1][0].training
+
+
+class TestStateDict:
+    def test_roundtrip_preserves_parameters_and_buffers(self):
+        bn = BatchNorm2d(2)
+        bn(Tensor(np.random.default_rng(0).normal(size=(4, 2, 3, 3)).astype(np.float32)))
+        state = bn.state_dict()
+        fresh = BatchNorm2d(2)
+        fresh.load_state_dict(state)
+        np.testing.assert_allclose(fresh.running_mean, bn.running_mean)
+        np.testing.assert_allclose(fresh.weight.data, bn.weight.data)
+
+    def test_shape_mismatch_raises(self):
+        layer = Linear(4, 3, rng=0)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((2, 2), dtype=np.float32)
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+    def test_unknown_key_raises(self):
+        layer = Linear(4, 3, rng=0)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"nope": np.zeros(1)})
+
+    def test_state_dict_is_a_copy(self):
+        layer = Linear(2, 2, rng=0)
+        state = layer.state_dict()
+        state["weight"][:] = 0
+        assert not np.allclose(layer.weight.data, 0)
+
+
+class TestLayers:
+    def test_linear_forward_shape_and_value(self):
+        layer = Linear(3, 2, rng=0)
+        layer.weight.data = np.array([[1, 0, 0], [0, 1, 0]], dtype=np.float32)
+        layer.bias.data = np.array([1.0, -1.0], dtype=np.float32)
+        out = layer(Tensor(np.array([[2.0, 3.0, 4.0]], dtype=np.float32)))
+        np.testing.assert_allclose(out.numpy(), [[3.0, 2.0]])
+
+    def test_linear_without_bias(self):
+        layer = Linear(3, 2, bias=False, rng=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_conv_output_shape(self):
+        layer = Conv2d(3, 8, 3, stride=2, padding=1, rng=0)
+        out = layer(Tensor(np.zeros((2, 3, 8, 8), dtype=np.float32)))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_batchnorm_updates_running_stats_in_train_only(self):
+        bn = BatchNorm2d(2, momentum=0.5)
+        x = Tensor(np.random.default_rng(1).normal(3.0, 1.0, size=(8, 2, 4, 4)).astype(np.float32))
+        bn.train()
+        bn(x)
+        after_train = bn.running_mean.copy()
+        assert not np.allclose(after_train, 0.0)
+        bn.eval()
+        bn(x)
+        np.testing.assert_allclose(bn.running_mean, after_train)
+
+    def test_flatten_and_identity(self):
+        x = Tensor(np.zeros((2, 3, 4, 4), dtype=np.float32))
+        assert Flatten()(x).shape == (2, 48)
+        assert Identity()(x) is x
+
+    def test_pooling_layers(self):
+        x = Tensor(np.ones((1, 2, 4, 4), dtype=np.float32))
+        assert MaxPool2d(2)(x).shape == (1, 2, 2, 2)
+        assert AvgPool2d(2)(x).shape == (1, 2, 2, 2)
+        assert GlobalAvgPool2d()(x).shape == (1, 2)
+
+    def test_sequential_iteration_and_indexing(self):
+        first, second = Linear(2, 2, rng=0), ReLU()
+        seq = Sequential(first, second)
+        assert len(seq) == 2
+        assert seq[0] is first
+        assert list(seq)[1] is second

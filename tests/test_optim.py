@@ -1,0 +1,119 @@
+"""Optimizer and schedule behavior."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.tensor import Tensor
+from repro.nn import Linear
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, CosineSchedule, StepSchedule
+
+
+def quadratic_step(optimizer, param):
+    """One optimization step on f(w) = 0.5 * ||w||^2 (gradient = w)."""
+    param.grad = param.data.copy()
+    optimizer.step()
+
+
+class TestSGD:
+    def test_plain_sgd_matches_formula(self):
+        p = Parameter(np.array([1.0, -2.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1)
+        quadratic_step(opt, p)
+        np.testing.assert_allclose(p.data, [0.9, -1.8], rtol=1e-6)
+
+    def test_momentum_accumulates(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()  # v = 1.0, w = 1 - 0.1
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()  # v = 1.9, w = 0.9 - 0.19
+        np.testing.assert_allclose(p.data, [0.71], rtol=1e-5)
+
+    def test_weight_decay_pulls_toward_zero(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(p.data, [0.9], rtol=1e-6)
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1)
+        opt.step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -5.0], dtype=np.float32))
+        opt = SGD([p], lr=0.3, momentum=0.5)
+        for _ in range(100):
+            quadratic_step(opt, p)
+        assert np.abs(p.data).max() < 1e-3
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_negative_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=-1.0)
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([123.0], dtype=np.float32)
+        opt.step()
+        # Bias correction makes the first step ~= lr regardless of scale.
+        np.testing.assert_allclose(p.data, [1.0 - 0.01], rtol=1e-3)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([3.0], dtype=np.float32))
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            quadratic_step(opt, p)
+        assert abs(float(p.data[0])) < 1e-2
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = Adam([p], lr=0.01, weight_decay=1.0)
+        p.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        assert float(p.data[0]) < 1.0
+
+
+class TestSchedules:
+    def test_step_schedule_decays(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        sched = StepSchedule(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(1.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_cosine_schedule_reaches_min(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        sched = CosineSchedule(opt, total_epochs=10, min_lr=0.05)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.05)
+
+    def test_cosine_is_monotone_decreasing(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        sched = CosineSchedule(opt, total_epochs=5)
+        values = []
+        for _ in range(5):
+            sched.step()
+            values.append(opt.lr)
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_invalid_schedule_args(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            StepSchedule(opt, step_size=0)
+        with pytest.raises(ValueError):
+            CosineSchedule(opt, total_epochs=0)

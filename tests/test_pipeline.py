@@ -1,0 +1,71 @@
+"""End-to-end pipeline integration at tiny scale."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackConfig, CFTAttack
+from repro.core import BackdoorPipeline, MemoryConfig, PipelineConfig
+from repro.core.config import PipelineConfig as PC
+from repro.errors import AttackError
+from repro.quant import QuantizedModel
+
+from tests.conftest import TinyCNN
+
+
+@pytest.fixture
+def pipeline():
+    return BackdoorPipeline(
+        PipelineConfig(
+            memory=MemoryConfig(
+                device="K1",
+                num_banks=8,
+                rows_per_bank=512,
+                attacker_buffer_pages=512,
+                seed=3,
+            )
+        )
+    )
+
+
+class TestPipeline:
+    def test_profile_memory_is_cached(self, pipeline):
+        first = pipeline.profile_memory()
+        second = pipeline.profile_memory()
+        assert first is second
+        assert first.num_frames == 512
+
+    def test_full_run_produces_consistent_result(self, pipeline, tiny_dataset, tiny_test_dataset):
+        qmodel = QuantizedModel(TinyCNN(rng=0))
+        config = AttackConfig(
+            target_class=1, iterations=10, n_flip_budget=2, batch_size=16,
+            trigger_size=4, seed=0,
+        )
+        result = pipeline.run(
+            CFTAttack(config, bit_reduction=True),
+            qmodel,
+            tiny_dataset,
+            tiny_test_dataset,
+            target_class=1,
+        )
+        row = result.as_row()
+        assert result.method == "CFT+BR"
+        assert 0 <= row["online_n_flip"] <= row["offline_n_flip"] <= 2 * config.n_flip_budget
+        assert 0.0 <= row["offline_ta"] <= 100.0
+        assert 0.0 <= row["r_match"] <= 100.0
+        assert result.online.placement_verified
+        # The model now carries the corrupted (online) weights.
+        np.testing.assert_array_equal(qmodel.flat_int8(), result.online.corrupted_weights)
+
+    def test_oversized_file_rejected(self, pipeline, tiny_dataset, tiny_test_dataset):
+        from repro.models import resnet18
+
+        big = QuantizedModel(resnet18(width=1.0, rng=0))  # far over 512 pages
+        config = AttackConfig(target_class=1, iterations=2, n_flip_budget=2, seed=0)
+        with pytest.raises(AttackError):
+            pipeline.run(
+                CFTAttack(config), big, tiny_dataset, tiny_test_dataset, target_class=1
+            )
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(KeyError):
+            BackdoorPipeline(PipelineConfig(memory=MemoryConfig(device="Z9")))

@@ -1,0 +1,151 @@
+"""Cross-module property-based tests of the core invariants.
+
+These check reconstruction-style properties that hold for *any* input:
+the bit-location diff is a faithful delta encoding, selection respects the
+paper's constraints for any gradient field, and the OS model's mappings are
+content-faithful under arbitrary operation sequences.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.attacks.cft import WEIGHTS_PER_PAGE, group_sort_select
+from repro.memory.frame_cache import PageFrameCache
+from repro.quant import WeightFile
+from repro.quant.bits import flip_bit
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=hnp.arrays(np.int8, st.integers(1, 600), elements=st.integers(-128, 127)),
+    seed=st.integers(0, 2**16),
+)
+def test_property_bit_locations_are_a_faithful_delta(data, seed):
+    """Applying the diff's flips to the original reproduces the target."""
+    rng = np.random.default_rng(seed)
+    modified = data.copy()
+    flip_count = int(rng.integers(0, min(16, data.size)))
+    for _ in range(flip_count):
+        index = int(rng.integers(0, data.size))
+        bit = int(rng.integers(0, 8))
+        modified[index] = flip_bit(modified[index : index + 1], bit)[0]
+
+    original_file = WeightFile(data)
+    modified_file = WeightFile(modified)
+    locations = original_file.bit_locations_against(modified_file)
+
+    rebuilt = data.copy()
+    for loc in locations:
+        index = loc.flat_byte_index
+        rebuilt[index] = flip_bit(rebuilt[index : index + 1], loc.bit_index)[0]
+        # Direction is consistent with the target's bit value.
+        target_bit = bool(np.uint8(modified[index]) & np.uint8(1 << loc.bit_index))
+        assert (loc.direction == 1) == target_bit
+    np.testing.assert_array_equal(rebuilt, modified)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_pages=st.integers(1, 6),
+    n_flip=st.integers(1, 6),
+    seed=st.integers(0, 2**16),
+)
+def test_property_group_sort_select_constraints(n_pages, n_flip, seed):
+    """For any gradient field: <= n_flip picks, one per page-aligned group,
+    each the maximum-magnitude weight of its group."""
+    if n_flip > n_pages:
+        n_flip = n_pages
+    rng = np.random.default_rng(seed)
+    n_w = n_pages * WEIGHTS_PER_PAGE - int(rng.integers(0, WEIGHTS_PER_PAGE // 2))
+    grads = rng.normal(size=n_w)
+    selected = group_sort_select(np.abs(grads), n_flip)
+
+    assert 1 <= len(selected) <= n_flip
+    pages = set()
+    pages_per_group = max(1, n_w // (WEIGHTS_PER_PAGE * n_flip))
+    span = WEIGHTS_PER_PAGE * pages_per_group
+    for index in selected:
+        group = min(index // span, n_flip - 1)
+        assert group not in pages
+        pages.add(group)
+        # The pick is its group's argmax.
+        lo = group * span
+        hi = n_w if group == n_flip - 1 else (group + 1) * span
+        assert np.abs(grads[index]) == np.abs(grads[lo:hi]).max()
+
+
+@settings(max_examples=30, deadline=None)
+@given(operations=st.lists(st.integers(0, 49), min_size=1, max_size=60))
+def test_property_frame_cache_is_lifo_under_any_sequence(operations):
+    """Model-based: the frame cache behaves as a stack for any op sequence."""
+    cache = PageFrameCache()
+    model_stack = []
+    for op in operations:
+        if op % 2 == 0 and not cache.contains(op):
+            cache.release(op)
+            model_stack.append(op)
+        elif len(cache):
+            assert cache.allocate() == model_stack.pop()
+    assert cache.peek_allocation_order() == list(reversed(model_stack))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    num_pages=st.integers(1, 5),
+    seed=st.integers(0, 2**16),
+)
+def test_property_file_mapping_is_content_faithful(num_pages, seed):
+    """mmap of any registered file reads back exactly its content."""
+    from repro.memory.dram import DRAMArray
+    from repro.memory.geometry import DRAMGeometry
+    from repro.memory.mmap import OSMemoryModel
+
+    rng = np.random.default_rng(seed)
+    geometry = DRAMGeometry(num_banks=4, rows_per_bank=32, row_size_bytes=8192)
+    os_model = OSMemoryModel(DRAMArray(geometry, 0.0, seed=0), rng=seed)
+    size = int(rng.integers(1, num_pages * 4096 + 1))
+    content = rng.integers(0, 256, size=size).astype(np.uint8).tobytes()
+    os_model.register_file("f", content)
+    mapping = os_model.mmap_file("f")
+    assert os_model.read_mapping(mapping)[: len(content)] == content
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    requirements=st.lists(
+        st.tuples(st.integers(0, 4095), st.integers(0, 7), st.sampled_from([1, -1])),
+        min_size=1,
+        max_size=4,
+        unique=True,
+    )
+)
+def test_property_templating_assignments_always_cover_requirements(requirements):
+    """Any frame the templater assigns covers every required flip of its page."""
+    from repro.quant.weightfile import BitLocation
+    from repro.rowhammer.profiler import FlipProfile, FlipRecord
+    from repro.rowhammer.templating import PageTemplater
+
+    # Build a profile where frame 100 covers all requirements and frame 101
+    # covers only the first.
+    records = [
+        FlipRecord(frame=100, byte_offset=o, bit=b, direction=d, n_sides=7)
+        for o, b, d in requirements
+    ]
+    first = requirements[0]
+    records.append(
+        FlipRecord(frame=101, byte_offset=first[0], bit=first[1], direction=first[2], n_sides=7)
+    )
+    profile = FlipProfile(records=records, profiled_frames=[100, 101], n_sides=7)
+    templater = PageTemplater(profile)
+    targets = {
+        0: [BitLocation(page=0, byte_offset=o, bit_index=b, direction=d) for o, b, d in requirements]
+    }
+    match = templater.match(targets)
+    assert match.matched_pages == [0]
+    frame = match.assignments[0]
+    covered = templater._frame_flips[frame]
+    for o, b, d in requirements:
+        assert (o, b, d) in covered

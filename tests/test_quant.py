@@ -1,0 +1,191 @@
+"""Quantization, bit manipulation and the weight-file layout."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import QuantizationError
+from repro.quant import (
+    PAGE_SIZE_BYTES,
+    WeightFile,
+    bit_reduce,
+    dequantize,
+    flip_bit,
+    hamming_distance,
+    int8_to_uint8,
+    msb_only,
+    quantize,
+    uint8_to_int8,
+)
+from repro.quant.bits import bit_reduce_avoiding, changed_bit_positions
+
+int8_arrays = hnp.arrays(np.int8, st.integers(1, 64), elements=st.integers(-128, 127))
+
+
+class TestQuantizer:
+    def test_roundtrip_error_bounded_by_half_step(self):
+        w = np.random.default_rng(0).normal(size=100).astype(np.float32)
+        q, params = quantize(w)
+        restored = dequantize(q, params)
+        assert np.abs(restored - w).max() <= params.scale / 2 + 1e-6
+
+    def test_scale_formula(self):
+        w = np.array([0.0, -1.27, 0.5])
+        q, params = quantize(w)
+        assert params.scale == pytest.approx(1.27 / 127)
+        assert q.tolist() == [0, -127, 50]
+
+    def test_all_zero_tensor(self):
+        q, params = quantize(np.zeros(10))
+        assert (q == 0).all()
+        np.testing.assert_allclose(dequantize(q, params), 0.0)
+
+    def test_qmin_qmax_symmetric(self):
+        _, params = quantize(np.ones(3))
+        assert params.qmax == 127
+        assert params.qmin == -127
+
+    def test_invalid_bits_raises(self):
+        with pytest.raises(QuantizationError):
+            quantize(np.ones(3), num_bits=1)
+
+
+class TestBitOps:
+    def test_twos_complement_views(self):
+        assert int8_to_uint8(np.array([-1], dtype=np.int8))[0] == 255
+        assert uint8_to_int8(np.array([255], dtype=np.uint8))[0] == -1
+
+    def test_flip_bit_msb_changes_sign(self):
+        out = flip_bit(np.array([1], dtype=np.int8), 7)
+        assert out[0] == 1 - 128
+
+    def test_flip_bit_out_of_range(self):
+        with pytest.raises(QuantizationError):
+            flip_bit(np.array([0], dtype=np.int8), 8)
+
+    def test_msb_only_examples(self):
+        values = np.array([0b0111, 0b0100, 0, 1, -1], dtype=np.int8)
+        out = msb_only(values)
+        assert out[0] == 0b0100
+        assert out[1] == 0b0100
+        assert out[2] == 0
+        assert out[3] == 1
+        assert int8_to_uint8(out[4:5])[0] == 0b10000000
+
+    def test_bit_reduce_paper_example(self):
+        # theta = 1101, theta* = 1010 -> Floor(0111) = 0100 -> result 1001.
+        result = bit_reduce(np.array([0b1101], dtype=np.int8), np.array([0b1010], dtype=np.int8))
+        assert result[0] == 0b1001
+
+    def test_bit_reduce_identity_when_equal(self):
+        a = np.array([5, -7, 0], dtype=np.int8)
+        np.testing.assert_array_equal(bit_reduce(a, a), a)
+
+    def test_bit_reduce_avoiding_forbidden_bit(self):
+        original = np.array([0], dtype=np.int8)
+        modified = np.array([-128], dtype=np.int8)  # only bit 7 differs
+        out = bit_reduce_avoiding(original, modified, forbidden_bits=(7,))
+        assert out[0] == 0  # change entirely reverted
+
+    def test_bit_reduce_avoiding_falls_back_to_next_bit(self):
+        original = np.array([0], dtype=np.int8)
+        modified = uint8_to_int8(np.array([0b11000000], dtype=np.uint8))
+        out = bit_reduce_avoiding(original, modified, forbidden_bits=(7,))
+        assert int8_to_uint8(out)[0] == 0b01000000
+
+    def test_hamming_distance(self):
+        a = np.array([0b0000, 0b1111], dtype=np.int8)
+        b = np.array([0b0001, 0b1111], dtype=np.int8)
+        assert hamming_distance(a, b) == 1
+        assert hamming_distance(a, a) == 0
+
+    def test_hamming_shape_mismatch(self):
+        with pytest.raises(QuantizationError):
+            hamming_distance(np.zeros(2, np.int8), np.zeros(3, np.int8))
+
+    def test_changed_bit_positions_directions(self):
+        original = np.array([0b0000], dtype=np.int8)
+        modified = np.array([0b0101], dtype=np.int8)
+        rows = changed_bit_positions(original, modified)
+        assert rows.shape == (2, 3)
+        assert set(map(tuple, rows)) == {(0, 0, 1), (0, 2, 1)}
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=int8_arrays)
+def test_property_bit_reduce_at_most_one_bit(a):
+    """Property: bit reduction leaves each byte within 1 bit of the original."""
+    rng = np.random.default_rng(0)
+    b = rng.integers(-128, 128, size=a.shape).astype(np.int8)
+    reduced = bit_reduce(a, b)
+    per_byte = np.unpackbits(int8_to_uint8(a) ^ int8_to_uint8(reduced)).reshape(-1, 8).sum(1) \
+        if a.size else np.zeros(0)
+    assert (np.unpackbits((int8_to_uint8(a) ^ int8_to_uint8(reduced)))
+            .reshape(a.size, 8).sum(axis=1) <= 1).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=int8_arrays)
+def test_property_bit_reduce_preserves_direction(a):
+    """Property: the reduced value moves in the same direction as the target."""
+    rng = np.random.default_rng(1)
+    b = rng.integers(-128, 128, size=a.shape).astype(np.int8)
+    reduced = bit_reduce(a, b).astype(np.int16)
+    a16, b16 = a.astype(np.int16), b.astype(np.int16)
+    changed = reduced != a16
+    # Where a change survives, its sign matches the intended change's sign.
+    assert (np.sign(reduced[changed] - a16[changed]) == np.sign(b16[changed] - a16[changed])).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=int8_arrays)
+def test_property_quantize_roundtrip_monotone(a):
+    """Property: dequantized values preserve the ordering of the integers."""
+    q, params = quantize(a.astype(np.float64))
+    restored = dequantize(q, params)
+    order = np.argsort(a.astype(np.float64), kind="stable")
+    assert (np.diff(restored[order]) >= -1e-6).all()
+
+
+class TestWeightFile:
+    def test_geometry(self):
+        wf = WeightFile(np.zeros(PAGE_SIZE_BYTES * 2 + 10, dtype=np.int8))
+        assert wf.num_pages == 3
+        assert wf.page_of(PAGE_SIZE_BYTES) == 1
+        assert wf.page_offset_of(PAGE_SIZE_BYTES + 5) == 5
+
+    def test_bytes_roundtrip(self):
+        data = np.random.default_rng(0).integers(-128, 128, size=100).astype(np.int8)
+        wf = WeightFile(data)
+        clone = WeightFile.from_bytes(wf.to_bytes())
+        np.testing.assert_array_equal(clone.as_int8(), data)
+
+    def test_page_slice_short_final_page(self):
+        wf = WeightFile(np.arange(10, dtype=np.int8))
+        assert wf.page_slice(0).size == 10
+
+    def test_out_of_range_raises(self):
+        wf = WeightFile(np.zeros(10, dtype=np.int8))
+        with pytest.raises(QuantizationError):
+            wf.read(10)
+        with pytest.raises(QuantizationError):
+            wf.page_slice(1)
+
+    def test_bit_locations_against(self):
+        a = WeightFile(np.zeros(PAGE_SIZE_BYTES + 4, dtype=np.int8))
+        b = WeightFile(np.zeros(PAGE_SIZE_BYTES + 4, dtype=np.int8))
+        b.write(3, 1)  # bit 0 set: 0 -> 1
+        b.write(PAGE_SIZE_BYTES + 1, -128)  # bit 7 set in page 1
+        locations = a.bit_locations_against(b)
+        assert len(locations) == 2
+        first, second = sorted(locations, key=lambda l: l.page)
+        assert (first.page, first.byte_offset, first.bit_index, first.direction) == (0, 3, 0, 1)
+        assert (second.page, second.byte_offset, second.bit_index) == (1, 1, 7)
+
+    def test_diff_size_mismatch_raises(self):
+        with pytest.raises(QuantizationError):
+            WeightFile(np.zeros(4, dtype=np.int8)).bit_locations_against(
+                WeightFile(np.zeros(5, dtype=np.int8))
+            )

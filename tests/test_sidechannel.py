@@ -1,0 +1,112 @@
+"""SPOILER and row-buffer-conflict side-channel simulations."""
+
+import numpy as np
+import pytest
+
+from repro.memory.dram import DRAMArray
+from repro.memory.geometry import DRAMGeometry
+from repro.memory.mmap import MappedFile, OSMemoryModel
+from repro.memory.sidechannel import (
+    SPOILER_PERIOD_FRAMES,
+    RowConflictChannel,
+    SpoilerChannel,
+)
+
+
+def contiguous_mapping(start_frame: int, count: int) -> MappedFile:
+    """A mapping whose virtual pages are physically contiguous."""
+    return MappedFile(file_id=None, frames={i: start_frame + i for i in range(count)})
+
+
+class TestSpoiler:
+    def test_peaks_have_spoiler_period_on_contiguous_memory(self):
+        channel = SpoilerChannel()
+        mapping = contiguous_mapping(0, 256)
+        times = channel.measure(mapping, rng=0)
+        peaks = channel.detect_peaks(times)
+        assert len(peaks) == 4
+        np.testing.assert_array_equal(np.diff(peaks), SPOILER_PERIOD_FRAMES)
+
+    def test_finds_contiguous_runs(self):
+        channel = SpoilerChannel()
+        mapping = contiguous_mapping(0, 192)
+        times = channel.measure(mapping, rng=0)
+        runs = channel.find_contiguous_runs(times)
+        assert runs, "expected at least one contiguous run"
+        start, length = runs[0]
+        assert length >= 2 * SPOILER_PERIOD_FRAMES
+
+    def test_shuffled_frames_break_periodicity(self):
+        channel = SpoilerChannel()
+        rng = np.random.default_rng(0)
+        frames = rng.permutation(4096)[:256]
+        mapping = MappedFile(file_id=None, frames={i: int(f) for i, f in enumerate(frames)})
+        times = channel.measure(mapping, rng=1)
+        runs = channel.find_contiguous_runs(times)
+        total_run_pages = sum(length for _, length in runs)
+        assert total_run_pages < 192  # mostly non-contiguous
+
+    def test_measurement_noise_does_not_flip_classification(self):
+        channel = SpoilerChannel(noise_std=20.0)
+        mapping = contiguous_mapping(0, 128)
+        times_a = channel.measure(mapping, rng=1)
+        times_b = channel.measure(mapping, rng=2)
+        np.testing.assert_array_equal(
+            channel.detect_peaks(times_a), channel.detect_peaks(times_b)
+        )
+
+
+class TestRowConflict:
+    @pytest.fixture
+    def geometry(self):
+        return DRAMGeometry(num_banks=4, rows_per_bank=64, row_size_bytes=8192)
+
+    def test_same_bank_different_row_is_slow(self, geometry):
+        channel = RowConflictChannel(geometry)
+        # Find two frames in the same bank but different rows.
+        pairs = []
+        for frame_a in range(0, 64):
+            for frame_b in range(frame_a + 1, 64):
+                addr_a = geometry.frame_address(frame_a)
+                addr_b = geometry.frame_address(frame_b)
+                if addr_a.bank == addr_b.bank and addr_a.row != addr_b.row:
+                    pairs.append((frame_a, frame_b))
+                    break
+            if pairs:
+                break
+        frame_a, frame_b = pairs[0]
+        assert channel.same_bank(frame_a * 4096, frame_b * 4096, rng=0)
+
+    def test_different_bank_is_fast(self, geometry):
+        channel = RowConflictChannel(geometry)
+        for frame_b in range(1, 64):
+            if geometry.frame_address(0).bank != geometry.frame_address(frame_b).bank:
+                assert not channel.same_bank(0, frame_b * 4096, rng=0)
+                return
+        pytest.fail("no cross-bank pair found")
+
+    def test_bank_partition_recovers_equivalence_classes(self, geometry):
+        channel = RowConflictChannel(geometry, noise_std=5.0)
+        frames = list(range(0, 64, 2))
+        groups = channel.bank_partition(frames, rng=0)
+        # Compare against ground truth bank assignment.
+        truth = {}
+        for frame in frames:
+            truth.setdefault(geometry.frame_address(frame).bank, set()).add(frame)
+        recovered = {frozenset(v) for v in groups.values() if len(v) > 1}
+        expected = {frozenset(v) for v in truth.values() if len(v) > 1}
+        # Most groups should match exactly (noise may split a few).
+        assert len(recovered & expected) >= len(expected) // 2
+
+    def test_roughly_one_in_numbanks_fraction_conflicts(self, geometry):
+        """Fig. 12: about 1/num_banks of random pairs are same-bank."""
+        channel = RowConflictChannel(geometry, noise_std=1.0)
+        rng = np.random.default_rng(3)
+        conflicts = 0
+        trials = 300
+        for _ in range(trials):
+            a, b = rng.choice(geometry.total_frames, size=2, replace=False)
+            if channel.same_bank(int(a) * 4096, int(b) * 4096, rng=rng):
+                conflicts += 1
+        fraction = conflicts / trials
+        assert 0.5 / geometry.num_banks < fraction < 2.5 / geometry.num_banks

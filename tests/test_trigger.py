@@ -1,0 +1,111 @@
+"""Trigger pattern semantics (mask, application, FGSM updates)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.trigger import TriggerPattern
+
+
+class TestConstruction:
+    def test_black_square_mask_location(self):
+        trig = TriggerPattern.black_square((3, 32, 32), 10)
+        assert trig.mask[:, 22:, 22:].all()
+        assert trig.mask.sum() == 3 * 10 * 10
+        np.testing.assert_allclose(trig.pattern, 0.0)
+
+    @pytest.mark.parametrize("corner", ["top_left", "top_right", "bottom_left"])
+    def test_other_corners(self, corner):
+        trig = TriggerPattern.black_square((1, 8, 8), 3, corner=corner)
+        assert trig.mask.sum() == 9
+
+    def test_invalid_corner_raises(self):
+        with pytest.raises(ValueError):
+            TriggerPattern.black_square((1, 8, 8), 3, corner="middle")
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValueError):
+            TriggerPattern.black_square((1, 8, 8), 9)
+        with pytest.raises(ValueError):
+            TriggerPattern.black_square((1, 8, 8), 0)
+
+    def test_gray_square_value(self):
+        trig = TriggerPattern.square((1, 8, 8), 3, value=0.5)
+        assert trig.pattern[trig.mask].mean() == pytest.approx(0.5)
+        assert trig.pattern[~trig.mask].max() == 0.0
+
+    def test_mask_pattern_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            TriggerPattern(mask=np.zeros((1, 4, 4), bool), pattern=np.zeros((1, 3, 3)))
+
+
+class TestApplication:
+    def test_apply_replaces_only_masked_pixels(self):
+        trig = TriggerPattern.square((1, 8, 8), 3, value=0.7)
+        images = np.full((2, 1, 8, 8), 0.2, dtype=np.float32)
+        out = trig.apply(images)
+        assert out[0, 0, 0, 0] == pytest.approx(0.2)
+        assert out[0, 0, 7, 7] == pytest.approx(0.7)
+        # input untouched
+        assert images[0, 0, 7, 7] == pytest.approx(0.2)
+
+    def test_apply_single_image(self):
+        trig = TriggerPattern.square((1, 8, 8), 2, value=1.0)
+        out = trig.apply(np.zeros((1, 8, 8), dtype=np.float32))
+        assert out.shape == (1, 8, 8)
+        assert out[0, 7, 7] == 1.0
+
+    def test_apply_shape_mismatch_raises(self):
+        trig = TriggerPattern.square((1, 8, 8), 2)
+        with pytest.raises(ValueError):
+            trig.apply(np.zeros((2, 3, 8, 8)))
+
+    def test_apply_is_idempotent(self):
+        trig = TriggerPattern.square((1, 8, 8), 2, value=0.3)
+        images = np.random.default_rng(0).random((4, 1, 8, 8)).astype(np.float32)
+        once = trig.apply(images)
+        np.testing.assert_allclose(trig.apply(once), once)
+
+
+class TestFGSMUpdate:
+    def test_update_moves_against_gradient_sign(self):
+        trig = TriggerPattern.square((1, 4, 4), 2, value=0.5)
+        grad = np.ones((1, 4, 4), dtype=np.float32)
+        before = trig.pattern.copy()
+        trig.fgsm_update(grad, epsilon=0.1)
+        masked_delta = (trig.pattern - before)[trig.mask]
+        np.testing.assert_allclose(masked_delta, 0.1, rtol=1e-5)
+        # unmasked pixels unchanged
+        np.testing.assert_allclose(trig.pattern[~trig.mask], before[~trig.mask])
+
+    def test_update_respects_clip_range(self):
+        trig = TriggerPattern.square((1, 4, 4), 2, value=0.95)
+        trig.fgsm_update(np.ones((1, 4, 4)), epsilon=0.5)
+        assert trig.pattern.max() <= 1.0
+
+    def test_gradient_shape_mismatch_raises(self):
+        trig = TriggerPattern.square((1, 4, 4), 2)
+        with pytest.raises(ValueError):
+            trig.fgsm_update(np.ones((1, 3, 3)), epsilon=0.1)
+
+    def test_copy_is_independent(self):
+        trig = TriggerPattern.square((1, 4, 4), 2, value=0.5)
+        clone = trig.copy()
+        clone.fgsm_update(np.ones((1, 4, 4)), 0.2)
+        assert trig.pattern[trig.mask].mean() == pytest.approx(0.5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    size=st.integers(min_value=1, max_value=8),
+    epsilon=st.floats(min_value=0.0, max_value=0.5),
+)
+def test_pattern_always_within_clip_range(size, epsilon):
+    """Property: no sequence of FGSM updates escapes the pixel range."""
+    trig = TriggerPattern.square((1, 8, 8), size, value=0.5)
+    rng = np.random.default_rng(0)
+    for _ in range(5):
+        trig.fgsm_update(rng.normal(size=(1, 8, 8)), epsilon)
+    assert trig.pattern.min() >= 0.0
+    assert trig.pattern.max() <= 1.0
