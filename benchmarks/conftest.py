@@ -16,8 +16,13 @@ from pathlib import Path
 import pytest
 
 from repro.core.experiment import ExperimentScale
+from repro.telemetry.testing import telemetry_guard
 
 RESULTS_DIR = Path(__file__).parent / "_results"
+
+# Same isolation as tests/conftest.py: telemetry stays disabled and empty
+# around every benchmark unless the benchmark itself opts in.
+_telemetry_guard = pytest.fixture(autouse=True)(telemetry_guard)
 
 
 @pytest.fixture(scope="session")

@@ -6,8 +6,6 @@ with an operand above 0xFFFF in a tight loop, none of which occur during
 int8 inference.  The PoC workload, by contrast, faults reliably.
 """
 
-import numpy as np
-import pytest
 
 from benchmarks.conftest import record_result
 from repro.faults import PlundervoltCPU, UndervoltConfig

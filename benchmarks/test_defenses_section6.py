@@ -10,7 +10,6 @@
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import record_result
 from repro.analysis import evaluate_attack

@@ -11,9 +11,8 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import record_result
-from repro.memory.dram import DRAMArray
 from repro.memory.geometry import DRAMGeometry
-from repro.memory.mmap import MappedFile, OSMemoryModel
+from repro.memory.mmap import MappedFile
 from repro.memory.sidechannel import SPOILER_PERIOD_FRAMES, RowConflictChannel, SpoilerChannel
 
 

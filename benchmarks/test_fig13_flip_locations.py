@@ -5,8 +5,6 @@ TBT's flips are all concentrated in the last layer's single page, which is
 exactly why TBT is unrealizable with Rowhammer.
 """
 
-import numpy as np
-import pytest
 
 from benchmarks.conftest import record_result
 from repro.attacks import AttackConfig, CFTAttack, TBTAttack

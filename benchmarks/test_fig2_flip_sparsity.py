@@ -6,7 +6,6 @@ buffer on the paper's reference DDR3 density and check the same sparsity
 statistics and the per-page flip distribution.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import record_result

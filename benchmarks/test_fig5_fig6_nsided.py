@@ -6,8 +6,6 @@ Fig. 6: a 15-sided pattern flips more (accidental) bits per page than a
 7-sided pattern -- the reason the online attack drops to 7 sides.
 """
 
-import numpy as np
-import pytest
 
 from benchmarks.conftest import record_result
 from repro.memory.dram import DRAMArray

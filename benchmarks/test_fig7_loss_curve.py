@@ -6,11 +6,9 @@ fine-tuning recovers from; overall the loss still trends down.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import record_result
 from repro.attacks import AttackConfig, CFTAttack
-from repro.quant import QuantizedModel
 
 INTERVAL = 20
 ITERATIONS = 80

@@ -6,7 +6,6 @@ onto the trigger patch for stamped inputs (the SentiNet discussion).
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import record_result
 from repro.analysis import gradcam_focus_on_mask, gradcam_heatmap

@@ -7,7 +7,6 @@ Fig. 10: the same curve across devices -- even the least flippy chips reach
 P ~= 1 for a single-bit offset given enough pages.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import record_result

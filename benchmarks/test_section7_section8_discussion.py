@@ -1,7 +1,6 @@
 """Section VII (attack time / stealth vs prior work) and Section VIII
 (huge-page fragmentation) discussion experiments."""
 
-import pytest
 
 from benchmarks.conftest import record_result
 from repro.analysis.attack_time import estimate_attack_time, related_work_comparison

@@ -9,7 +9,6 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import record_result
-from repro.analysis import evaluate_attack
 from repro.attacks import AttackConfig, CFTAttack
 from repro.core import BackdoorPipeline, MemoryConfig, PipelineConfig
 from repro.core.training import evaluate_accuracy, pretrained_quantized_model

@@ -6,7 +6,6 @@ while TA recovers toward the base accuracy -- the motivation for putting the
 constraints *inside* the training loop.
 """
 
-import pytest
 
 from benchmarks.conftest import record_result
 from repro.attacks import AttackConfig, BadNetAttack, restore_parameters_experiment

@@ -13,6 +13,7 @@ The package is organized bottom-up:
 - :mod:`repro.defenses` -- the countermeasures evaluated in Section VI.
 - :mod:`repro.analysis` -- probability analysis, metrics and GradCAM.
 - :mod:`repro.core` -- end-to-end offline+online attack pipeline.
+- :mod:`repro.telemetry` -- metrics, spans and the benchmark report format.
 """
 
 from repro.version import __version__

@@ -9,7 +9,6 @@ none are realizable with Rowhammer (r_match ~0.02 % in Table II).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.attacks.base import AttackConfig, OfflineAttackResult
 from repro.attacks.objective import attack_loss_and_grads
@@ -40,7 +39,6 @@ class BadNetAttack:
         # contrast against both dark and bright image regions.
         trigger = TriggerPattern.square(image_shape, config.trigger_size)
 
-        params = model.parameters()
         loss_history = []
         for _ in range(config.iterations):
             batch_idx = rng.choice(

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.attacks.base import AttackConfig, OfflineAttackResult
 from repro.attacks.objective import attack_loss_and_grads, flatten_grads
 from repro.data.dataset import ArrayDataset
@@ -31,7 +32,7 @@ from repro.errors import AttackError
 from repro.quant.bits import bit_reduce
 from repro.quant.qmodel import QuantizedModel
 from repro.quant.weightfile import PAGE_SIZE_BYTES
-from repro.utils.rng import SeedLike, new_rng
+from repro.utils.rng import new_rng
 
 # With 8-bit weights, one 4 KB page holds exactly 4096 weights.
 WEIGHTS_PER_PAGE = PAGE_SIZE_BYTES
@@ -147,6 +148,10 @@ class CFTAttack:
             # Step 2 (Eq. 5): locate this iteration's vulnerable weights.
             flat_grad = flatten_grads(grads.param_grads, names)
             selected = group_sort_select(np.abs(flat_grad), config.n_flip_budget)
+            if telemetry.enabled():
+                telemetry.counter_add("cft.iterations")
+                telemetry.gauge_set("cft.loss", grads.loss)
+                telemetry.histogram_observe("cft.selected_weights", selected.size)
 
             # Step 3 (Eq. 6): masked update on the selected weights only.
             masked = np.zeros_like(flat_grad)
@@ -166,11 +171,13 @@ class CFTAttack:
         backdoored_q = qmodel.flat_int8()
         from repro.quant.bits import hamming_distance
 
+        n_flip = hamming_distance(original_q, backdoored_q)
+        telemetry.counter_add("cft.bits_flipped", n_flip)
         return OfflineAttackResult(
             original_weights=original_q,
             backdoored_weights=backdoored_q,
             trigger=trigger,
-            n_flip=hamming_distance(original_q, backdoored_q),
+            n_flip=n_flip,
             loss_history=loss_history,
             method=self.name,
         )
@@ -240,6 +247,16 @@ class CFTAttack:
         eval_labels = attacker_data.labels[:eval_count]
         eval_targets = np.full(eval_count, config.target_class, dtype=np.int64)
 
+        def eval_asr() -> float:
+            """ASR on the fixed evaluation subset (telemetry only)."""
+            from repro.autodiff import no_grad
+            from repro.autodiff.tensor import Tensor
+
+            with no_grad():
+                stamped = trigger.apply(eval_images)
+                predictions = model(Tensor(stamped)).numpy().argmax(axis=1)
+            return float((predictions == config.target_class).mean())
+
         def objective() -> tuple:
             """(total, clean_loss, clean_accuracy) over the evaluation subset."""
             from repro.autodiff import cross_entropy, no_grad
@@ -288,6 +305,10 @@ class CFTAttack:
             flat_grad = flatten_grads(grads.param_grads, names)
             baseline, _, _ = objective()
             loss_history.append(baseline)
+            if telemetry.enabled():
+                telemetry.counter_add("cft.rounds")
+                telemetry.gauge_set("cft.loss", baseline)
+                telemetry.histogram_observe("cft.round_asr", eval_asr())
 
             proposals = self._propose_flips(
                 qmodel, current_q, flat_grad, group_of, filled_groups, candidates_per_group
@@ -297,6 +318,8 @@ class CFTAttack:
             if len(proposals) > 16:
                 proposals.sort(key=lambda p: -abs(float(flat_grad[p[0]])))
                 proposals = proposals[:16]
+            if telemetry.enabled():
+                telemetry.counter_add("cft.candidates_evaluated", len(proposals))
             best: Optional[tuple] = None
             for index, new_value in proposals:
                 previous = apply_value(index, new_value)
@@ -315,6 +338,7 @@ class CFTAttack:
             committed_flips.append((index, old_value, np.int8(new_value)))
             current_q[index] = new_value
             filled_groups.add(int(group_of[index]))
+            telemetry.counter_add("cft.flips_committed")
             refine_trigger(trigger_steps)
 
         refine_trigger(trigger_steps)
@@ -334,11 +358,15 @@ class CFTAttack:
         backdoored_q = qmodel.flat_int8()
         from repro.quant.bits import hamming_distance
 
+        n_flip = hamming_distance(original_q, backdoored_q)
+        if telemetry.enabled():
+            telemetry.counter_add("cft.bits_flipped", n_flip)
+            telemetry.gauge_set("cft.final_asr", eval_asr())
         return OfflineAttackResult(
             original_weights=original_q,
             backdoored_weights=backdoored_q,
             trigger=trigger,
-            n_flip=hamming_distance(original_q, backdoored_q),
+            n_flip=n_flip,
             loss_history=loss_history,
             method=self.name,
         )

@@ -8,7 +8,6 @@ one page and the attack is unrealizable with Rowhammer (Table II).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.attacks.base import AttackConfig, OfflineAttackResult
 from repro.attacks.objective import attack_loss_and_grads

@@ -20,13 +20,13 @@ online columns are produced for BadNet/FT/TBT/CFT.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 import numpy as np
 
+from repro import telemetry
 from repro.attacks.base import OfflineAttackResult
-from repro.errors import AttackError, MemoryModelError
-from repro.memory.geometry import PAGE_FRAME_SIZE
+from repro.errors import AttackError
 from repro.memory.mmap import MappedFile, OSMemoryModel
 from repro.quant.weightfile import PAGE_SIZE_BITS, BitLocation, WeightFile
 from repro.rowhammer.hammer import HammerEngine
@@ -123,12 +123,21 @@ class OnlineInjector:
             for page in fallback_match.matched_pages:
                 targets[page] = extra_targets[page]
 
-        mapping = self._place_file(file_id, original, match.assignments)
-        placement_ok = all(
-            mapping.frame_of(page) == frame for page, frame in match.assignments.items()
+        with telemetry.span("online.massage", pages=original.num_pages):
+            mapping = self._place_file(file_id, original, match.assignments)
+        placement_hits = sum(
+            1 for page, frame in match.assignments.items() if mapping.frame_of(page) == frame
         )
+        placement_ok = placement_hits == len(match.assignments)
+        if telemetry.enabled():
+            telemetry.counter_add("massage.rounds")
+            telemetry.gauge_set(
+                "massage.placement_hit_rate",
+                placement_hits / len(match.assignments) if match.assignments else 1.0,
+            )
 
-        hammer_seconds = self._hammer_targets(match.assignments)
+        with telemetry.span("online.hammer", targets=len(match.assignments)):
+            hammer_seconds = self._hammer_targets(match.assignments)
         corrupted = np.frombuffer(
             self.os.read_mapping(mapping), dtype=np.int8
         )[: len(original)].copy()
@@ -179,6 +188,7 @@ class OnlineInjector:
         for page in sorted(plan, reverse=True):
             frame = plan[page]
             self.os.munmap_page(self.attacker_buffer, frame_to_virtual[frame])
+        telemetry.counter_add("massage.released_frames", len(plan))
 
         self.os.register_file(file_id, original.to_bytes())
         return self.os.mmap_file(file_id)

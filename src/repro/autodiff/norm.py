@@ -50,7 +50,6 @@ class BatchNorm2dFunction(Function):
         grad_gamma = (grad * x_hat).sum(axis=axes)
         grad_xhat = grad * gamma[None, :, None, None]
         if training:
-            m = grad.shape[0] * grad.shape[2] * grad.shape[3]
             mean_gxh = grad_xhat.mean(axis=axes)
             mean_gxh_xhat = (grad_xhat * x_hat).mean(axis=axes)
             grad_x = (

@@ -6,6 +6,8 @@ Usage (after ``pip install -e .``):
     python -m repro.cli attack --model resnet20 --target 2 --flips 4
     python -m repro.cli probability --flips-per-page 34 --pages 32768
     python -m repro.cli devices
+    python -m repro.cli bench --out BENCH_pipeline.json
+    python -m repro.cli bench-check benchmarks/BENCH_pipeline.json BENCH_pipeline.json
 """
 
 from __future__ import annotations
@@ -68,6 +70,43 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.core.bench import run_bench
+
+    report = run_bench(
+        out=args.out,
+        jsonl=args.jsonl,
+        seed=args.seed,
+        epochs=args.epochs,
+        iterations=args.iterations,
+        n_flip_budget=args.flips,
+    )
+    bench_seconds = report["spans"]["bench"]["total_seconds"]
+    counters = report["counters"]
+    print(f"wrote {args.out} ({bench_seconds:.2f} s end-to-end)")
+    for name in sorted(counters):
+        print(f"  {name}: {counters[name]:g}")
+    for name, value in sorted(report["gauges"].items()):
+        if value is not None:
+            print(f"  {name}: {value:g}")
+    return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    from repro.telemetry import read_json
+    from repro.telemetry.regression import compare_reports, format_comparison
+
+    deviations = compare_reports(
+        read_json(args.baseline),
+        read_json(args.candidate),
+        tolerance=args.tolerance,
+        time_tolerance=args.time_tolerance,
+        min_seconds=args.min_seconds,
+    )
+    print(format_comparison(deviations))
+    return 1 if any(d.failed for d in deviations) else 0
+
+
 def _cmd_table2(args: argparse.Namespace) -> int:
     from repro.core.experiment import ExperimentScale, format_table2, run_method_comparison
 
@@ -109,6 +148,28 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--no-bit-reduction", action="store_true")
     attack.add_argument("--save", help="save the offline result to this .npz path")
 
+    bench = sub.add_parser(
+        "bench", help="run the telemetry-instrumented end-to-end benchmark"
+    )
+    bench.add_argument("--out", default="BENCH_pipeline.json")
+    bench.add_argument("--jsonl", help="also write the line-per-event export here")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--epochs", type=int, default=3)
+    bench.add_argument("--iterations", type=int, default=10)
+    bench.add_argument("--flips", type=int, default=2)
+
+    check = sub.add_parser(
+        "bench-check", help="fail if a bench report regressed against a baseline"
+    )
+    check.add_argument("baseline", help="committed BENCH_pipeline.json baseline")
+    check.add_argument("candidate", help="freshly produced BENCH_pipeline.json")
+    check.add_argument("--tolerance", type=float, default=0.25,
+                       help="max relative deviation for counters (default 0.25)")
+    check.add_argument("--time-tolerance", type=float, default=0.25,
+                       help="max relative deviation for span wall-times (default 0.25)")
+    check.add_argument("--min-seconds", type=float, default=0.05,
+                       help="ignore spans whose baseline total is below this")
+
     table2 = sub.add_parser("table2", help="run a Table II method comparison")
     table2.add_argument("--model", default="resnet20")
     table2.add_argument("--dataset", default="cifar10", choices=["cifar10", "imagenet"])
@@ -126,6 +187,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "probability": _cmd_probability,
         "attack": _cmd_attack,
         "table2": _cmd_table2,
+        "bench": _cmd_bench,
+        "bench-check": _cmd_bench_check,
     }
     return handlers[args.command](args)
 

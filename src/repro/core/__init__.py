@@ -1,5 +1,6 @@
 """End-to-end orchestration: training, the attack pipeline and experiments."""
 
+from repro.core.bench import run_bench
 from repro.core.config import MemoryConfig, PipelineConfig
 from repro.core.training import TrainingConfig, train_model, pretrained_quantized_model
 from repro.core.pipeline import BackdoorPipeline, PipelineResult
@@ -10,6 +11,7 @@ __all__ = [
     "TrainingConfig",
     "train_model",
     "pretrained_quantized_model",
+    "run_bench",
     "BackdoorPipeline",
     "PipelineResult",
 ]

@@ -1,0 +1,116 @@
+"""``repro bench``: a telemetry-instrumented end-to-end attack benchmark.
+
+Runs the full pipeline -- victim training, CFT+BR offline optimization,
+page-cache massaging and n-sided hammering -- at a deliberately small scale,
+with telemetry enabled, and writes the aggregated report as
+``BENCH_pipeline.json``.  The committed copy under ``benchmarks/`` is the
+CI regression baseline: ``repro bench-check`` (see
+:mod:`repro.telemetry.regression`) fails the build when stage wall-times or
+flip counters drift beyond tolerance.
+
+Everything is seeded, so the flip counters are deterministic; wall-times
+vary with the host, which is why the regression gate takes a tolerance.
+"""
+
+from __future__ import annotations
+
+import platform
+from typing import Dict, Optional
+
+from repro import telemetry
+from repro.attacks import AttackConfig, CFTAttack
+from repro.core.config import MemoryConfig, PipelineConfig
+from repro.core.pipeline import BackdoorPipeline
+from repro.core.training import TrainingConfig, train_model
+from repro.data.synthetic import SyntheticImageClassification, SyntheticSpec
+from repro.nn import Conv2d, GlobalAvgPool2d, Linear, Module
+from repro.quant.qmodel import QuantizedModel
+from repro.version import __version__
+
+
+class BenchCNN(Module):
+    """The benchmark victim: spans several 4 KB weight-file pages (~12k
+    parameters) so page-level constraints and massaging are exercised,
+    while training in seconds on CPU."""
+
+    def __init__(self, num_classes: int = 4, rng: int = 0) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(3, 8, 3, padding=1, rng=rng)
+        self.conv2 = Conv2d(8, 16, 3, stride=2, padding=1, rng=rng)
+        self.conv3 = Conv2d(16, 24, 3, padding=1, rng=rng)
+        self.pool = GlobalAvgPool2d()
+        self.hidden = Linear(24, 256, rng=rng)
+        self.fc = Linear(256, num_classes, rng=rng)
+
+    def forward(self, x):
+        out = self.conv1(x).relu()
+        out = self.conv2(out).relu()
+        out = self.conv3(out).relu()
+        return self.fc(self.hidden(self.pool(out)).relu())
+
+
+def run_bench(
+    out: Optional[str] = "BENCH_pipeline.json",
+    jsonl: Optional[str] = None,
+    seed: int = 0,
+    epochs: int = 3,
+    iterations: int = 10,
+    n_flip_budget: int = 2,
+    target_class: int = 1,
+) -> Dict[str, object]:
+    """Run the benchmark attack end-to-end and return the telemetry report."""
+    telemetry.enable()
+    telemetry.reset()
+
+    spec = SyntheticSpec(num_classes=4, image_size=16, prototypes_per_class=2)
+    task = SyntheticImageClassification(spec, seed=seed)
+    train_data = task.generate(96, "train")
+    test_data = task.generate(48, "test")
+    attacker_data = task.generate(64, "train")
+
+    with telemetry.span("bench", seed=seed):
+        model = BenchCNN(num_classes=spec.num_classes, rng=seed)
+        with telemetry.span("bench.train", epochs=epochs):
+            train_model(model, train_data, TrainingConfig(epochs=epochs, seed=seed), test_data)
+
+        qmodel = QuantizedModel(model)
+        pipeline = BackdoorPipeline(
+            PipelineConfig(
+                memory=MemoryConfig(
+                    device="K1",
+                    num_banks=8,
+                    rows_per_bank=2048,
+                    attacker_buffer_pages=2048,
+                    seed=seed,
+                )
+            )
+        )
+        attack = CFTAttack(
+            AttackConfig(
+                target_class=target_class,
+                iterations=iterations,
+                n_flip_budget=n_flip_budget,
+                batch_size=16,
+                trigger_size=4,
+                seed=seed,
+            ),
+            bit_reduction=True,
+        )
+        with telemetry.span("bench.attack", method=attack.name):
+            result = pipeline.run(attack, qmodel, attacker_data, test_data, target_class)
+
+    meta = {
+        "benchmark": "repro-bench",
+        "version": __version__,
+        "python": platform.python_version(),
+        "seed": seed,
+        "epochs": epochs,
+        "iterations": iterations,
+        "n_flip_budget": n_flip_budget,
+        "method": result.method,
+        "online_n_flip": result.online_n_flip,
+    }
+    report = telemetry.dump(out, meta=meta)
+    if jsonl is not None:
+        telemetry.dump_jsonl(jsonl)
+    return report

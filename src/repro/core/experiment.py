@@ -15,7 +15,6 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.analysis.metrics import evaluate_attack
 from repro.attacks import (
     AttackConfig,
     BadNetAttack,
@@ -24,7 +23,7 @@ from repro.attacks import (
     TBTAttack,
 )
 from repro.core.config import MemoryConfig, PipelineConfig
-from repro.core.pipeline import BackdoorPipeline, PipelineResult
+from repro.core.pipeline import BackdoorPipeline
 from repro.core.training import pretrained_quantized_model
 
 

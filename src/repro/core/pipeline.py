@@ -18,8 +18,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Optional
 
-import numpy as np
 
+from repro import telemetry
 from repro.analysis.metrics import AttackEvaluation, evaluate_attack
 from repro.attacks.base import OfflineAttackResult
 from repro.attacks.online import OnlineInjectionResult, OnlineInjector
@@ -84,13 +84,14 @@ class BackdoorPipeline:
     def profile_memory(self) -> FlipProfile:
         """Map the attacker buffer and profile it for flips (cached)."""
         if self.flip_profile is None:
-            self.attacker_buffer = self.os.mmap_anonymous(
-                self.config.memory.attacker_buffer_pages
-            )
-            profiler = MemoryProfiler(self.os, self.engine)
-            self.flip_profile = profiler.profile_mapping(
-                self.attacker_buffer, n_sides=self.config.memory.n_sides_profile
-            )
+            with telemetry.span("pipeline.profile_memory"):
+                self.attacker_buffer = self.os.mmap_anonymous(
+                    self.config.memory.attacker_buffer_pages
+                )
+                profiler = MemoryProfiler(self.os, self.engine)
+                self.flip_profile = profiler.profile_mapping(
+                    self.attacker_buffer, n_sides=self.config.memory.n_sides_profile
+                )
         return self.flip_profile
 
     # ------------------------------------------------------------------
@@ -107,10 +108,12 @@ class BackdoorPipeline:
         self.config.validate_for_file_pages(file_pages)
         profile = self.profile_memory()
 
-        offline = attack.run(qmodel, attacker_data)
-        offline_eval = evaluate_attack(
-            qmodel.module, test_data, offline.trigger, target_class
-        )
+        with telemetry.span("pipeline.offline_attack", method=getattr(attack, "name", "?")):
+            offline = attack.run(qmodel, attacker_data)
+        with telemetry.span("pipeline.evaluate", phase="offline"):
+            offline_eval = evaluate_attack(
+                qmodel.module, test_data, offline.trigger, target_class
+            )
 
         injector = OnlineInjector(
             self.os,
@@ -120,14 +123,25 @@ class BackdoorPipeline:
             n_sides=self.config.memory.n_sides_online,
         )
         self._file_counter += 1
-        online = injector.inject(
-            offline, file_id=f"{self.config.weight_file_id}.{self._file_counter}"
-        )
+        with telemetry.span("pipeline.online_inject"):
+            online = injector.inject(
+                offline, file_id=f"{self.config.weight_file_id}.{self._file_counter}"
+            )
 
         qmodel.load_flat_int8(online.corrupted_weights)
-        online_eval = evaluate_attack(
-            qmodel.module, test_data, offline.trigger, target_class
-        )
+        with telemetry.span("pipeline.evaluate", phase="online"):
+            online_eval = evaluate_attack(
+                qmodel.module, test_data, offline.trigger, target_class
+            )
+        if telemetry.enabled():
+            telemetry.counter_add("pipeline.runs")
+            telemetry.counter_add("online.bits_flipped", online.n_flip_achieved)
+            telemetry.counter_add("online.bits_required", online.n_flip_required)
+            telemetry.gauge_set("online.r_match", online.r_match)
+            telemetry.gauge_set("attack.offline_asr", offline_eval.attack_success_rate)
+            telemetry.gauge_set("attack.online_asr", online_eval.attack_success_rate)
+            telemetry.gauge_set("attack.offline_ta", offline_eval.test_accuracy)
+            telemetry.gauge_set("attack.online_ta", online_eval.test_accuracy)
         return PipelineResult(
             method=offline.method,
             offline=offline,

@@ -14,6 +14,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.autodiff import cross_entropy, no_grad
 from repro.autodiff.tensor import Tensor
 from repro.data.dataset import ArrayDataset, DataLoader
@@ -54,17 +55,26 @@ def train_model(
     schedule = CosineSchedule(optimizer, total_epochs=config.epochs)
     loader = DataLoader(train_data, batch_size=config.batch_size, shuffle=True, rng=config.seed)
     history: List[float] = []
-    for _ in range(config.epochs):
-        model.train()
-        total = 0.0
-        for images, labels in loader:
-            optimizer.zero_grad()
-            loss = cross_entropy(model(Tensor(images)), labels)
-            loss.backward()
-            optimizer.step()
-            total += loss.item()
-        schedule.step()
-        history.append(total / max(1, len(loader)))
+    for epoch in range(config.epochs):
+        with telemetry.span("train.epoch", epoch=epoch):
+            model.train()
+            total = 0.0
+            for images, labels in loader:
+                optimizer.zero_grad()
+                loss = cross_entropy(model(Tensor(images)), labels)
+                loss.backward()
+                optimizer.step()
+                total += loss.item()
+            schedule.step()
+            history.append(total / max(1, len(loader)))
+        if telemetry.enabled():
+            telemetry.counter_add("train.epochs")
+            telemetry.gauge_set("train.loss", history[-1])
+            telemetry.histogram_observe("train.epoch_loss", history[-1])
+            if test_data is not None:
+                telemetry.gauge_set(
+                    "train.test_accuracy", evaluate_accuracy(model, test_data)
+                )
     model.eval()
     return history
 

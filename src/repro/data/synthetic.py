@@ -15,7 +15,7 @@ the full image (as in natural images) rather than in any single pixel.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 from scipy import ndimage

@@ -10,7 +10,7 @@ pattern, leaving the rest of the image untouched.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

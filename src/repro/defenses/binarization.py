@@ -9,14 +9,13 @@ constraint C2 caps N_flip at the page count, the attacker's budget collapses
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 
 from repro.autodiff.tensor import Function, Tensor
 from repro.autodiff.conv import conv2d
 from repro.nn import Conv2d, Linear, Module
-from repro.nn.module import Parameter
 from repro.quant.weightfile import PAGE_SIZE_BYTES
 
 

@@ -9,7 +9,7 @@ distillation), then wraps both in a :class:`~repro.defenses.deepdyve.DeepDyveGua
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -11,7 +11,7 @@ covers), which our attack supports via ``AttackConfig``-level constraints.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

@@ -15,7 +15,7 @@ the group.  Section VI-C evaluates two attacker postures:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Tuple
+from typing import Dict
 
 import numpy as np
 

@@ -12,7 +12,6 @@ transfer occasionally, producing false positives even on clean models.
 from __future__ import annotations
 
 import dataclasses
-from typing import Tuple
 
 import numpy as np
 

@@ -16,7 +16,7 @@ the Plundervolt PoC workload (big scalar constants in a loop) faults readily.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

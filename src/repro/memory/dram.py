@@ -14,7 +14,7 @@ n-sided yield curve of Fig. 5 and the 15- vs 7-sided trade-off of Fig. 6.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

@@ -11,7 +11,6 @@ the huge page at 4 KB granularity (512 flips in 2 MB stay practical).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
 
 from repro.memory.geometry import DRAMGeometry, PAGE_FRAME_SIZE
 

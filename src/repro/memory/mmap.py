@@ -17,7 +17,7 @@ cached copies directly in DRAM without setting the dirty bit.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 

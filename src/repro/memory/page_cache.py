@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro import telemetry
 from repro.errors import MemoryModelError
 
 
@@ -28,15 +29,22 @@ class PageCache:
             raise MemoryModelError(f"page {key} already cached in frame {self._entries[key]}")
         self._entries[key] = frame
         self._dirty[key] = False
+        telemetry.counter_add("page_cache.inserts")
 
     def lookup(self, file_id: str, page_index: int) -> Optional[int]:
-        return self._entries.get((file_id, page_index))
+        frame = self._entries.get((file_id, page_index))
+        if telemetry.enabled():
+            telemetry.counter_add(
+                "page_cache.hits" if frame is not None else "page_cache.misses"
+            )
+        return frame
 
     def evict(self, file_id: str, page_index: int) -> int:
         key = (file_id, page_index)
         if key not in self._entries:
             raise MemoryModelError(f"page {key} is not cached")
         self._dirty.pop(key)
+        telemetry.counter_add("page_cache.evictions")
         return self._entries.pop(key)
 
     def evict_file(self, file_id: str) -> None:
@@ -44,6 +52,7 @@ class PageCache:
         for key in [k for k in self._entries if k[0] == file_id]:
             del self._entries[key]
             del self._dirty[key]
+            telemetry.counter_add("page_cache.evictions")
 
     def mark_dirty(self, file_id: str, page_index: int) -> None:
         """Record a CPU-side write (Rowhammer flips never call this)."""

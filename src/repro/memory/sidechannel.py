@@ -130,7 +130,6 @@ class RowConflictChannel:
         groups: Dict[int, List[int]] = {}
         representatives: List[Tuple[int, int]] = []  # (group_id, frame)
         next_group = 0
-        frame_bytes = self.geometry.row_size_bytes  # probe stride inside a row
         for frame in frames:
             phys = frame * 4096
             placed = False

@@ -13,7 +13,7 @@ reproduction remains faithful in structure while staying trainable.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Type, Union
+from typing import List, Sequence, Type, Union
 
 from repro.autodiff.tensor import Tensor
 from repro.nn import (
@@ -23,7 +23,6 @@ from repro.nn import (
     Identity,
     Linear,
     Module,
-    ReLU,
     Sequential,
 )
 from repro.utils.rng import SeedLike, new_rng

@@ -8,7 +8,6 @@ from repro.autodiff.tensor import Tensor
 from repro.nn import (
     BatchNorm2d,
     Conv2d,
-    Flatten,
     GlobalAvgPool2d,
     Linear,
     MaxPool2d,

@@ -9,7 +9,7 @@ the integer weights so inference always reflects the deployed bytes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 

@@ -14,7 +14,7 @@ from typing import Iterator, List, Tuple
 import numpy as np
 
 from repro.errors import QuantizationError
-from repro.quant.bits import int8_to_uint8, uint8_to_int8
+from repro.quant.bits import int8_to_uint8
 
 PAGE_SIZE_BYTES = 4096
 PAGE_SIZE_BITS = PAGE_SIZE_BYTES * 8

@@ -20,8 +20,9 @@ Hammering one row takes 800 ms with a 15-sided pattern and 400 ms with a
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
+from repro import telemetry
 from repro.errors import RowhammerError
 from repro.memory.dram import DRAMArray
 from repro.rowhammer.device_profiles import DeviceProfile
@@ -93,6 +94,11 @@ class HammerEngine:
         flips = self.dram.hammer_row(bank, row, self.intensity(n_sides))
         seconds = self.seconds_per_row(n_sides)
         self.total_seconds += seconds
+        if telemetry.enabled():
+            telemetry.counter_add("hammer.attempts")
+            telemetry.counter_add("hammer.flips", len(flips))
+            telemetry.counter_add("hammer.simulated_seconds", seconds)
+            telemetry.histogram_observe("hammer.flips_per_attempt", len(flips))
         return HammerResult(bank=bank, row=row, flips=flips, n_sides=n_sides, seconds=seconds)
 
     def hammer_sweep(

@@ -10,10 +10,11 @@ which the templating step matches against the weight file's needed flips.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import RowhammerError
 from repro.memory.geometry import PAGE_FRAME_SIZE
 from repro.memory.mmap import MappedFile, OSMemoryModel
@@ -124,10 +125,16 @@ class MemoryProfiler:
             rows.setdefault((address.bank, address.row), []).append(frame)
 
         frame_set = set(frames)
-        for (bank, row), row_frames in rows.items():
-            records.extend(
-                self._profile_row(bank, row, frame_set, n_sides)
-            )
+        with telemetry.span("profiler.sweep", frames=len(frames), n_sides=n_sides):
+            for (bank, row), row_frames in rows.items():
+                records.extend(
+                    self._profile_row(bank, row, frame_set, n_sides)
+                )
+        if telemetry.enabled():
+            telemetry.counter_add("profiler.rows_hammered", len(rows))
+            telemetry.counter_add("profiler.flips_found", len(records))
+            if frames:
+                telemetry.gauge_set("profiler.flip_yield_per_page", len(records) / len(frames))
         return FlipProfile(records=records, profiled_frames=list(frames), n_sides=n_sides)
 
     def _profile_row(

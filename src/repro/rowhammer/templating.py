@@ -15,11 +15,10 @@ the fewest *other* profiled flips, minimizing accidental corruption.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
-from repro.errors import RowhammerError
 from repro.quant.weightfile import BitLocation
-from repro.rowhammer.profiler import FlipProfile, FlipRecord
+from repro.rowhammer.profiler import FlipProfile
 
 
 @dataclasses.dataclass

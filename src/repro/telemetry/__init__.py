@@ -1,0 +1,156 @@
+"""Process-wide telemetry: metrics, nested spans and JSON/JSONL export.
+
+The subsystem is **disabled by default** and every instrumentation hook in
+the hot paths is guarded so the disabled cost is one attribute check --
+tier-1 test timings are unaffected.  Enable with :func:`enable` or the
+``REPRO_TELEMETRY=1`` environment variable, then::
+
+    from repro import telemetry
+
+    telemetry.enable()
+    with telemetry.span("pipeline"):
+        run_attack()
+        telemetry.counter_add("online.bits_flipped", 4)
+    report = telemetry.dump("BENCH_pipeline.json")
+
+``repro bench`` (see :mod:`repro.core.bench`) wraps exactly this flow around
+a small end-to-end attack to produce the CI benchmark baseline.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import ContextManager, Dict, Optional
+
+from repro.telemetry.export import (
+    SCHEMA,
+    build_report,
+    read_json,
+    read_jsonl,
+    write_json,
+    write_jsonl,
+)
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TelemetryError,
+)
+from repro.telemetry.spans import SpanRecord, SpanTracer
+
+__all__ = [
+    "SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "SpanTracer",
+    "TelemetryError",
+    "build_report",
+    "counter_add",
+    "disable",
+    "dump",
+    "dump_jsonl",
+    "enable",
+    "enabled",
+    "gauge_set",
+    "get_registry",
+    "get_tracer",
+    "histogram_observe",
+    "read_json",
+    "read_jsonl",
+    "reset",
+    "span",
+    "write_json",
+    "write_jsonl",
+]
+
+_enabled: bool = os.environ.get("REPRO_TELEMETRY", "").lower() in ("1", "true", "yes", "on")
+_registry = MetricsRegistry()
+_tracer = SpanTracer()
+
+
+class _NullSpan:
+    """Reusable no-op context manager returned while telemetry is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+# -- state ----------------------------------------------------------------
+def enabled() -> bool:
+    """Whether instrumentation hooks record anything (the hot-path guard)."""
+    return _enabled
+
+
+def enable() -> None:
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+def reset() -> None:
+    """Drop all recorded metrics and spans (the enabled flag is untouched)."""
+    _registry.reset()
+    _tracer.reset()
+
+
+def get_registry() -> MetricsRegistry:
+    return _registry
+
+
+def get_tracer() -> SpanTracer:
+    return _tracer
+
+
+# -- recording (all no-ops while disabled) --------------------------------
+def span(name: str, **attributes: object) -> ContextManager:
+    """Time a pipeline stage; nests under the innermost open span."""
+    if not _enabled:
+        return _NULL_SPAN
+    return _tracer.span(name, **attributes)
+
+
+def counter_add(name: str, amount: float = 1.0) -> None:
+    if _enabled:
+        _registry.counter(name).add(amount)
+
+
+def gauge_set(name: str, value: float) -> None:
+    if _enabled:
+        _registry.gauge(name).set(value)
+
+
+def histogram_observe(name: str, value: float) -> None:
+    if _enabled:
+        _registry.histogram(name).observe(value)
+
+
+# -- export ---------------------------------------------------------------
+def dump(
+    path: Optional[str] = None, meta: Optional[Dict[str, object]] = None
+) -> Dict[str, object]:
+    """Build the aggregated report; write it as JSON when ``path`` is given."""
+    report = build_report(_registry, _tracer, meta=meta)
+    if path is not None:
+        write_json(report, path)
+    return report
+
+
+def dump_jsonl(path: str) -> int:
+    """Write the full-fidelity line-per-event export; returns lines written."""
+    return write_jsonl(_registry, _tracer, path)

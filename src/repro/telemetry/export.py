@@ -1,0 +1,126 @@
+"""Exporters: the ``BENCH_pipeline.json`` report shape and JSONL streams.
+
+Two formats serve two consumers:
+
+- :func:`build_report` / :func:`write_json` -- one aggregated JSON document
+  (stage durations + metric snapshot) that the CI benchmark-regression gate
+  diffs against a committed baseline.
+- :func:`write_jsonl` / :func:`read_jsonl` -- one JSON object per line, full
+  fidelity (every span record, every histogram observation), for ad-hoc
+  analysis and lossless round-trips.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.telemetry.registry import MetricsRegistry, TelemetryError
+from repro.telemetry.spans import SpanRecord, SpanTracer
+
+SCHEMA = "repro-telemetry/1"
+
+PathLike = Union[str, Path]
+
+
+def build_report(
+    registry: MetricsRegistry,
+    tracer: SpanTracer,
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """The aggregated benchmark report (the ``BENCH_pipeline.json`` shape)."""
+    snapshot = registry.snapshot()
+    return {
+        "schema": SCHEMA,
+        "meta": dict(meta or {}),
+        "spans": tracer.stage_durations(),
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "histograms": snapshot["histograms"],
+    }
+
+
+def write_json(report: Dict[str, object], path: PathLike) -> None:
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def read_json(path: PathLike) -> Dict[str, object]:
+    report = json.loads(Path(path).read_text())
+    if report.get("schema") != SCHEMA:
+        raise TelemetryError(
+            f"{path}: expected schema {SCHEMA!r}, got {report.get('schema')!r}"
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# JSONL (line-per-event, lossless)
+# ---------------------------------------------------------------------------
+def write_jsonl(registry: MetricsRegistry, tracer: SpanTracer, path: PathLike) -> int:
+    """Stream every span and metric as one JSON object per line.
+
+    Returns the number of lines written.  Span lines carry the full dotted
+    path so the tree can be rebuilt; histogram lines carry raw observations.
+    """
+    lines: List[str] = [json.dumps({"kind": "schema", "value": SCHEMA})]
+    for record in tracer.all_records():
+        lines.append(
+            json.dumps(
+                {
+                    "kind": "span",
+                    "name": record.name,
+                    "path": record.path,
+                    "duration_seconds": record.duration_seconds,
+                    "attributes": record.attributes,
+                },
+                sort_keys=True,
+            )
+        )
+    snapshot = registry.snapshot()
+    for name, value in snapshot["counters"].items():
+        lines.append(json.dumps({"kind": "counter", "name": name, "value": value}))
+    for name, value in snapshot["gauges"].items():
+        lines.append(json.dumps({"kind": "gauge", "name": name, "value": value}))
+    for name, values in registry.histogram_values().items():
+        lines.append(json.dumps({"kind": "histogram", "name": name, "values": values}))
+    Path(path).write_text("\n".join(lines) + "\n")
+    return len(lines)
+
+
+def read_jsonl(path: PathLike) -> Tuple[MetricsRegistry, SpanTracer]:
+    """Rebuild a registry and span forest from a JSONL export."""
+    registry = MetricsRegistry()
+    tracer = SpanTracer()
+    by_path: Dict[str, SpanRecord] = {}
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        event = json.loads(line)
+        kind = event.get("kind")
+        if kind == "schema":
+            if event["value"] != SCHEMA:
+                raise TelemetryError(f"{path}:{lineno}: unsupported schema {event['value']!r}")
+        elif kind == "span":
+            record = SpanRecord(
+                name=event["name"],
+                path=event["path"],
+                duration_seconds=event["duration_seconds"],
+                attributes=event.get("attributes", {}),
+            )
+            by_path[record.path] = record
+            parent_path = record.path.rsplit("/", 1)[0] if "/" in record.path else None
+            if parent_path is not None and parent_path in by_path:
+                by_path[parent_path].children.append(record)
+            else:
+                tracer.roots.append(record)
+        elif kind == "counter":
+            registry.counter(event["name"]).add(event["value"])
+        elif kind == "gauge":
+            if event["value"] is not None:
+                registry.gauge(event["name"]).set(event["value"])
+        elif kind == "histogram":
+            registry.histogram(event["name"]).values.extend(event["values"])
+        else:
+            raise TelemetryError(f"{path}:{lineno}: unknown event kind {kind!r}")
+    return registry, tracer

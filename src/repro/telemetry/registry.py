@@ -1,0 +1,153 @@
+"""Process-wide metric primitives: counters, gauges and histograms.
+
+Aggregation is *fixed-seed safe*: no sampling, no reservoir tricks, and
+every exported view sorts its keys, so two runs with the same seeds (or
+the same run re-exported twice) produce byte-identical snapshots
+regardless of metric creation order or thread interleaving.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+
+
+class TelemetryError(ReproError):
+    """Raised on invalid telemetry usage (merge conflicts, bad spans)."""
+
+
+@dataclasses.dataclass
+class Counter:
+    """A monotonically increasing count (events, bits flipped, rounds)."""
+
+    name: str
+    value: float = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise TelemetryError(f"counter {self.name!r} cannot decrease (add {amount})")
+        self.value += amount
+
+
+@dataclasses.dataclass
+class Gauge:
+    """A last-write-wins instantaneous value (loss, ASR, hit rate)."""
+
+    name: str
+    value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclasses.dataclass
+class Histogram:
+    """A full-fidelity value distribution (per-epoch seconds, yields).
+
+    All observations are retained, so quantiles are exact and merging two
+    histograms is plain concatenation -- deterministic for fixed seeds.
+    """
+
+    name: str
+    values: List[float] = dataclasses.field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    def summary(self) -> Dict[str, float]:
+        """Deterministic aggregate view (exact quantiles, no sampling)."""
+        if not self.values:
+            return {"count": 0, "sum": 0.0}
+        ordered = sorted(self.values)
+        n = len(ordered)
+
+        def quantile(q: float) -> float:
+            return ordered[min(n - 1, int(q * n))]
+
+        return {
+            "count": n,
+            "sum": sum(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": sum(ordered) / n,
+            "p50": quantile(0.50),
+            "p95": quantile(0.95),
+        }
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms with deterministic export and merge.
+
+    Metric names are dotted paths (``"online.bits_flipped"``); the same name
+    may not be reused across metric kinds.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- metric accessors ------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            self._check_kind(name, self._counters)
+            return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            self._check_kind(name, self._gauges)
+            return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            self._check_kind(name, self._histograms)
+            return self._histograms.setdefault(name, Histogram(name))
+
+    def _check_kind(self, name: str, home: Dict) -> None:
+        for kind in (self._counters, self._gauges, self._histograms):
+            if kind is not home and name in kind:
+                raise TelemetryError(f"metric {name!r} already exists with another kind")
+
+    # -- lifecycle -------------------------------------------------------
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (e.g. per-worker registries).
+
+        Counters add, histograms concatenate observations, and gauges take
+        ``other``'s value (last writer wins) -- the natural semantics when
+        ``other`` is the more recent shard.
+        """
+        for name in sorted(other._counters):
+            self.counter(name).add(other._counters[name].value)
+        for name in sorted(other._gauges):
+            value = other._gauges[name].value
+            if value is not None:
+                self.gauge(name).set(value)
+        for name in sorted(other._histograms):
+            self.histogram(name).values.extend(other._histograms[name].values)
+
+    # -- export ----------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict]:
+        """Plain-dict view with sorted keys (JSON-ready, deterministic)."""
+        with self._lock:
+            return {
+                "counters": {n: self._counters[n].value for n in sorted(self._counters)},
+                "gauges": {n: self._gauges[n].value for n in sorted(self._gauges)},
+                "histograms": {
+                    n: self._histograms[n].summary() for n in sorted(self._histograms)
+                },
+            }
+
+    def histogram_values(self) -> Dict[str, List[float]]:
+        """Raw per-histogram observations (used by the JSONL exporter)."""
+        with self._lock:
+            return {n: list(self._histograms[n].values) for n in sorted(self._histograms)}

@@ -1,0 +1,119 @@
+"""Benchmark-regression gate: diff two ``BENCH_pipeline.json`` reports.
+
+CI runs ``repro bench`` on every push and compares the fresh report against
+the committed baseline with :func:`compare_reports`.  Two metric families
+are gated:
+
+- **counters** (bits flipped, hammer attempts, massaging rounds, ...): these
+  are fully seeded, so any relative deviation beyond tolerance is a real
+  behavior change;
+- **span wall-times**: stage totals may legitimately wobble with host load,
+  so only spans whose baseline total exceeds ``min_seconds`` are compared,
+  each against ``time_tolerance``.
+
+A missing baseline metric in the candidate always fails (a stage silently
+disappearing is the regression the gate exists to catch); *new* candidate
+metrics are allowed so instrumentation can grow without re-baselining.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+DEFAULT_TOLERANCE = 0.25  # ISSUE-specified: fail beyond 25 % deviation
+DEFAULT_MIN_SECONDS = 0.05  # ignore sub-noise-floor spans
+
+
+@dataclasses.dataclass
+class Deviation:
+    """One gated metric's baseline/candidate comparison."""
+
+    kind: str  # "counter" | "span"
+    name: str
+    baseline: float
+    candidate: float
+    relative: float  # |candidate - baseline| / baseline
+    failed: bool
+
+    def format(self) -> str:
+        status = "FAIL" if self.failed else "ok"
+        return (
+            f"[{status:>4}] {self.kind:<7} {self.name:<40} "
+            f"baseline={self.baseline:<12.6g} candidate={self.candidate:<12.6g} "
+            f"dev={100.0 * self.relative:.1f}%"
+        )
+
+
+def _relative(baseline: float, candidate: float) -> float:
+    if baseline == 0.0:
+        return 0.0 if candidate == 0.0 else float("inf")
+    return abs(candidate - baseline) / abs(baseline)
+
+
+def compare_reports(
+    baseline: Dict[str, object],
+    candidate: Dict[str, object],
+    tolerance: float = DEFAULT_TOLERANCE,
+    time_tolerance: float = DEFAULT_TOLERANCE,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> List[Deviation]:
+    """Compare every gated metric; a ``Deviation.failed`` entry per breach."""
+    deviations: List[Deviation] = []
+
+    base_counters: Dict[str, float] = baseline.get("counters", {})
+    cand_counters: Dict[str, float] = candidate.get("counters", {})
+    for name in sorted(base_counters):
+        base = float(base_counters[name])
+        cand = float(cand_counters.get(name, 0.0))
+        missing = name not in cand_counters
+        relative = _relative(base, cand)
+        deviations.append(
+            Deviation(
+                kind="counter",
+                name=name,
+                baseline=base,
+                candidate=cand,
+                relative=relative,
+                failed=missing or relative > tolerance,
+            )
+        )
+
+    base_spans: Dict[str, Dict[str, float]] = baseline.get("spans", {})
+    cand_spans: Dict[str, Dict[str, float]] = candidate.get("spans", {})
+    for path in sorted(base_spans):
+        base = float(base_spans[path]["total_seconds"])
+        if path not in cand_spans:
+            deviations.append(
+                Deviation(
+                    kind="span", name=path, baseline=base, candidate=0.0,
+                    relative=float("inf"), failed=True,
+                )
+            )
+            continue
+        if base < min_seconds:
+            continue
+        cand = float(cand_spans[path]["total_seconds"])
+        relative = _relative(base, cand)
+        deviations.append(
+            Deviation(
+                kind="span",
+                name=path,
+                baseline=base,
+                candidate=cand,
+                relative=relative,
+                failed=relative > time_tolerance,
+            )
+        )
+    return deviations
+
+
+def format_comparison(deviations: List[Deviation]) -> str:
+    """Human-readable gate output, failures first."""
+    failed = [d for d in deviations if d.failed]
+    passed = [d for d in deviations if not d.failed]
+    lines = [d.format() for d in failed + passed]
+    lines.append(
+        f"bench-regression: {len(failed)} failed / {len(deviations)} gated metrics"
+    )
+    return "\n".join(lines)

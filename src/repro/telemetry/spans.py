@@ -1,0 +1,104 @@
+"""Nested wall-time spans: a context-manager tracer for pipeline stages.
+
+Spans nest lexically (``with span("pipeline"): with span("pipeline.offline")``)
+and every record keeps its dotted *path* -- parent names joined with ``/`` --
+so stage-level durations aggregate without reconstructing the tree.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import time
+from typing import Dict, Iterator, List, Optional
+
+from repro.telemetry.registry import TelemetryError
+
+
+@dataclasses.dataclass
+class SpanRecord:
+    """One completed (or in-flight) timed stage."""
+
+    name: str
+    path: str  # "root/child/grandchild"
+    duration_seconds: float = 0.0
+    attributes: Dict[str, object] = dataclasses.field(default_factory=dict)
+    children: List["SpanRecord"] = dataclasses.field(default_factory=list)
+
+    def walk(self) -> Iterator["SpanRecord"]:
+        """Depth-first traversal, self first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class SpanTracer:
+    """Collects a forest of nested span records."""
+
+    def __init__(self) -> None:
+        self.roots: List[SpanRecord] = []
+        self._stack: List[SpanRecord] = []
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[SpanRecord]:
+        """Time a stage; nests under the innermost open span."""
+        if "/" in name:
+            raise TelemetryError(f"span name {name!r} may not contain '/'")
+        parent = self._stack[-1] if self._stack else None
+        path = f"{parent.path}/{name}" if parent else name
+        record = SpanRecord(name=name, path=path, attributes=dict(attributes))
+        (parent.children if parent else self.roots).append(record)
+        self._stack.append(record)
+        start = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.duration_seconds = time.perf_counter() - start
+            # A force-reset inside the span may already have cleared the stack.
+            if self._stack and self._stack[-1] is record:
+                self._stack.pop()
+
+    # -- views -----------------------------------------------------------
+    def reset(self, force: bool = False) -> None:
+        """Drop all records.  Resetting inside an open span is an error
+        unless ``force`` (test isolation) is set."""
+        if self._stack:
+            if not force:
+                raise TelemetryError(
+                    f"cannot reset tracer inside open span {self._stack[-1].path!r}"
+                )
+            self._stack.clear()
+        self.roots.clear()
+
+    def all_records(self) -> List[SpanRecord]:
+        """Every record, depth-first, in completion order of the roots."""
+        out: List[SpanRecord] = []
+        for root in self.roots:
+            out.extend(root.walk())
+        return out
+
+    def stage_durations(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate duration per span *path*, sorted (deterministic export).
+
+        Repeated stages (e.g. one span per epoch) fold into one entry with
+        their invocation count and total/min/max seconds.
+        """
+        stats: Dict[str, Dict[str, float]] = {}
+        for record in self.all_records():
+            entry = stats.setdefault(
+                record.path,
+                {"count": 0, "total_seconds": 0.0, "min_seconds": float("inf"),
+                 "max_seconds": 0.0},
+            )
+            entry["count"] += 1
+            entry["total_seconds"] += record.duration_seconds
+            entry["min_seconds"] = min(entry["min_seconds"], record.duration_seconds)
+            entry["max_seconds"] = max(entry["max_seconds"], record.duration_seconds)
+        return {path: stats[path] for path in sorted(stats)}
+
+    def find(self, path: str) -> Optional[SpanRecord]:
+        """First record whose dotted path matches exactly (tests/debugging)."""
+        for record in self.all_records():
+            if record.path == path:
+                return record
+        return None

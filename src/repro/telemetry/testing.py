@@ -1,0 +1,25 @@
+"""Shared pytest helpers for telemetry isolation.
+
+Both ``tests/conftest.py`` and ``benchmarks/conftest.py`` install
+:func:`telemetry_guard` as an autouse fixture, so every test runs with
+telemetry disabled and an empty registry/tracer -- the zero-overhead
+default the tier-1 timing guarantee depends on -- and anything a test
+enables or records is torn down afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro import telemetry
+
+
+def telemetry_guard() -> Iterator[None]:
+    """Generator fixture body: disabled + empty before and after each test."""
+    telemetry.disable()
+    telemetry.get_tracer().reset(force=True)
+    telemetry.get_registry().reset()
+    yield
+    telemetry.disable()
+    telemetry.get_tracer().reset(force=True)
+    telemetry.get_registry().reset()

@@ -2,17 +2,19 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.data.dataset import ArrayDataset
 from repro.data.synthetic import SyntheticImageClassification, SyntheticSpec
 from repro.memory.dram import DRAMArray
 from repro.memory.geometry import DRAMGeometry
 from repro.memory.mmap import OSMemoryModel
-from repro.models import resnet20
-from repro.nn import Conv2d, GlobalAvgPool2d, Linear, Module, ReLU, Sequential
+from repro.nn import Conv2d, GlobalAvgPool2d, Linear, Module
 from repro.quant.qmodel import QuantizedModel
+from repro.telemetry.testing import telemetry_guard
+
+# Keep telemetry disabled and empty around every test (shared with the
+# benchmarks suite via repro.telemetry.testing).
+_telemetry_guard = pytest.fixture(autouse=True)(telemetry_guard)
 
 
 class TinyCNN(Module):
@@ -57,18 +59,20 @@ def tiny_quantized(tiny_model):
     return QuantizedModel(tiny_model)
 
 
+def _tiny_task() -> SyntheticImageClassification:
+    """The single synthetic task both dataset fixtures draw from."""
+    spec = SyntheticSpec(num_classes=4, image_size=16, prototypes_per_class=2)
+    return SyntheticImageClassification(spec, seed=0)
+
+
 @pytest.fixture
 def tiny_dataset():
-    spec = SyntheticSpec(num_classes=4, image_size=16, prototypes_per_class=2)
-    task = SyntheticImageClassification(spec, seed=0)
-    return task.generate(64, "train")
+    return _tiny_task().generate(64, "train")
 
 
 @pytest.fixture
 def tiny_test_dataset():
-    spec = SyntheticSpec(num_classes=4, image_size=16, prototypes_per_class=2)
-    task = SyntheticImageClassification(spec, seed=0)
-    return task.generate(48, "test")
+    return _tiny_task().generate(48, "test")
 
 
 @pytest.fixture

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.attacks import AttackConfig, CFTAttack, OnlineInjector
+from repro.attacks import OnlineInjector
 from repro.attacks.base import OfflineAttackResult
 from repro.data.trigger import TriggerPattern
 from repro.memory.dram import DRAMArray

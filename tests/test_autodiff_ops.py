@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.autodiff.tensor import Tensor, concat, no_grad, stack
-from repro.errors import GradientError, ShapeError
+from repro.errors import GradientError
 
 from tests.helpers import check_gradient
 

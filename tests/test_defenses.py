@@ -18,8 +18,7 @@ from repro.defenses import (
 )
 from repro.defenses.binarization import binarized_page_count, binarize_weights
 from repro.defenses.clustering import cluster_tightness
-from repro.nn import Conv2d, Linear
-from repro.quant import QuantizedModel
+from repro.nn import Linear
 
 from tests.conftest import TinyCNN
 

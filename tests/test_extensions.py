@@ -12,7 +12,6 @@ from repro.analysis.attack_time import (
 from repro.faults import PlundervoltCPU, UndervoltConfig
 from repro.memory.geometry import DRAMGeometry
 from repro.memory.hugepages import (
-    HUGE_PAGE_BYTES,
     expected_flips_in_huge_page,
     fragment_huge_page,
     profilable_4k_pages,

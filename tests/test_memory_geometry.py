@@ -1,6 +1,5 @@
 """DRAM geometry and physical-address mapping."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -16,7 +16,7 @@ from repro.nn import (
     ReLU,
     Sequential,
 )
-from repro.nn.module import Module, Parameter
+from repro.nn.module import Module
 
 
 class TestParameterRegistration:

@@ -3,8 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.autodiff.tensor import Tensor
-from repro.nn import Linear
 from repro.nn.module import Parameter
 from repro.optim import SGD, Adam, CosineSchedule, StepSchedule
 

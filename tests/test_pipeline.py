@@ -5,7 +5,6 @@ import pytest
 
 from repro.attacks import AttackConfig, CFTAttack
 from repro.core import BackdoorPipeline, MemoryConfig, PipelineConfig
-from repro.core.config import PipelineConfig as PC
 from repro.errors import AttackError
 from repro.quant import QuantizedModel
 

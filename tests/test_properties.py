@@ -7,7 +7,6 @@ content-faithful under arbitrary operation sequences.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp

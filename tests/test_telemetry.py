@@ -1,0 +1,270 @@
+"""Telemetry layer: registry merges, nested spans, disabled no-ops,
+JSON/JSONL round-trips and the benchmark-regression gate."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    MetricsRegistry,
+    SpanTracer,
+    TelemetryError,
+    build_report,
+    read_json,
+    read_jsonl,
+    write_json,
+    write_jsonl,
+)
+from repro.telemetry.regression import compare_reports
+
+
+class TestRegistry:
+    def test_counter_accumulates_and_rejects_negative(self):
+        registry = MetricsRegistry()
+        registry.counter("bits").add(3)
+        registry.counter("bits").add(2)
+        assert registry.snapshot()["counters"]["bits"] == 5
+        with pytest.raises(TelemetryError):
+            registry.counter("bits").add(-1)
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("asr").set(0.2)
+        registry.gauge("asr").set(0.9)
+        assert registry.snapshot()["gauges"]["asr"] == 0.9
+
+    def test_histogram_summary_is_deterministic(self):
+        registry = MetricsRegistry()
+        for value in (5.0, 1.0, 3.0, 2.0, 4.0):
+            registry.histogram("lat").observe(value)
+        summary = registry.snapshot()["histograms"]["lat"]
+        assert summary["count"] == 5
+        assert summary["min"] == 1.0 and summary["max"] == 5.0
+        assert summary["mean"] == 3.0
+        assert summary["p50"] == 3.0
+
+    def test_name_cannot_change_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TelemetryError):
+            registry.gauge("x")
+
+    def test_merge_semantics(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("flips").add(2)
+        b.counter("flips").add(3)
+        b.counter("only_b").add(1)
+        a.gauge("asr").set(0.5)
+        b.gauge("asr").set(0.8)
+        a.histogram("t").observe(1.0)
+        b.histogram("t").observe(2.0)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["counters"]["flips"] == 5  # counters add
+        assert snap["counters"]["only_b"] == 1  # new metrics appear
+        assert snap["gauges"]["asr"] == 0.8  # gauges: other wins
+        assert snap["histograms"]["t"]["count"] == 2  # histograms concatenate
+
+    def test_merge_is_seed_safe(self):
+        """Merging shards in any order yields identical counter totals."""
+        shards = []
+        for value in (1, 2, 3):
+            shard = MetricsRegistry()
+            shard.counter("n").add(value)
+            shards.append(shard)
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for shard in shards:
+            forward.merge(shard)
+        for shard in reversed(shards):
+            backward.merge(shard)
+        assert forward.snapshot() == backward.snapshot()
+
+
+class TestSpans:
+    def test_nesting_builds_paths(self):
+        tracer = SpanTracer()
+        with tracer.span("pipeline"):
+            with tracer.span("offline"):
+                pass
+            with tracer.span("online"):
+                with tracer.span("hammer"):
+                    pass
+        assert [r.path for r in tracer.all_records()] == [
+            "pipeline", "pipeline/offline", "pipeline/online", "pipeline/online/hammer",
+        ]
+        assert tracer.find("pipeline/online/hammer") is not None
+
+    def test_durations_nonzero_and_parent_covers_child(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                sum(range(1000))
+        outer, inner = tracer.roots[0], tracer.roots[0].children[0]
+        assert outer.duration_seconds >= inner.duration_seconds >= 0.0
+
+    def test_repeated_stage_aggregates(self):
+        tracer = SpanTracer()
+        with tracer.span("train"):
+            for epoch in range(3):
+                with tracer.span("epoch", epoch=epoch):
+                    pass
+        stats = tracer.stage_durations()
+        assert stats["train/epoch"]["count"] == 3
+        assert stats["train"]["count"] == 1
+
+    def test_span_closes_on_exception(self):
+        tracer = SpanTracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        assert tracer._stack == []
+        assert tracer.roots[0].duration_seconds >= 0.0
+
+    def test_reset_inside_open_span_requires_force(self):
+        tracer = SpanTracer()
+        with tracer.span("open"):
+            with pytest.raises(TelemetryError):
+                tracer.reset()
+            tracer.reset(force=True)
+        assert tracer.roots == []
+
+    def test_slash_in_name_rejected(self):
+        tracer = SpanTracer()
+        with pytest.raises(TelemetryError):
+            with tracer.span("a/b"):
+                pass
+
+
+class TestDisabledMode:
+    def test_disabled_records_nothing(self):
+        assert not telemetry.enabled()  # the conftest guard's default
+        with telemetry.span("ghost"):
+            telemetry.counter_add("ghost.counter", 7)
+            telemetry.gauge_set("ghost.gauge", 1.0)
+            telemetry.histogram_observe("ghost.hist", 1.0)
+        report = telemetry.dump()
+        assert report["spans"] == {}
+        assert report["counters"] == {}
+        assert report["gauges"] == {}
+        assert report["histograms"] == {}
+
+    def test_disabled_span_is_shared_noop(self):
+        first, second = telemetry.span("a"), telemetry.span("b")
+        assert first is second  # no per-call allocation on the hot path
+
+    def test_enable_disable_toggles_recording(self):
+        telemetry.enable()
+        telemetry.counter_add("real", 1)
+        telemetry.disable()
+        telemetry.counter_add("real", 100)
+        assert telemetry.dump()["counters"] == {"real": 1}
+
+
+class TestExport:
+    def _populate(self):
+        registry = MetricsRegistry()
+        tracer = SpanTracer()
+        registry.counter("online.bits_flipped").add(4)
+        registry.gauge("attack.asr").set(0.97)
+        registry.histogram("epoch_seconds").observe(0.5)
+        registry.histogram("epoch_seconds").observe(0.7)
+        with tracer.span("bench"):
+            with tracer.span("train", epochs=2):
+                pass
+            with tracer.span("attack"):
+                pass
+        return registry, tracer
+
+    def test_json_report_round_trip(self, tmp_path):
+        registry, tracer = self._populate()
+        report = build_report(registry, tracer, meta={"seed": 0})
+        path = tmp_path / "BENCH_pipeline.json"
+        write_json(report, path)
+        loaded = read_json(path)
+        assert loaded == json.loads(json.dumps(report))  # stable through JSON
+        assert loaded["meta"]["seed"] == 0
+        assert set(loaded["spans"]) == {"bench", "bench/train", "bench/attack"}
+
+    def test_read_json_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other/9"}))
+        with pytest.raises(TelemetryError):
+            read_json(path)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        registry, tracer = self._populate()
+        path = tmp_path / "telemetry.jsonl"
+        lines = write_jsonl(registry, tracer, path)
+        assert lines == len(path.read_text().splitlines())
+        registry2, tracer2 = read_jsonl(path)
+        assert registry2.snapshot() == registry.snapshot()
+        assert registry2.histogram_values() == registry.histogram_values()
+        assert tracer2.stage_durations() == tracer.stage_durations()
+        assert [r.attributes for r in tracer2.all_records()] == [
+            r.attributes for r in tracer.all_records()
+        ]
+
+
+class TestRegressionGate:
+    def _report(self, bits=4.0, seconds=1.0):
+        return {
+            "schema": telemetry.SCHEMA,
+            "counters": {"online.bits_flipped": bits},
+            "spans": {
+                "bench": {"count": 1, "total_seconds": seconds,
+                          "min_seconds": seconds, "max_seconds": seconds},
+                "bench/tiny": {"count": 1, "total_seconds": 0.001,
+                               "min_seconds": 0.001, "max_seconds": 0.001},
+            },
+        }
+
+    def test_identical_reports_pass(self):
+        deviations = compare_reports(self._report(), self._report())
+        assert not any(d.failed for d in deviations)
+
+    def test_counter_drift_fails(self):
+        deviations = compare_reports(self._report(bits=4), self._report(bits=6))
+        failed = [d for d in deviations if d.failed]
+        assert [d.name for d in failed] == ["online.bits_flipped"]
+
+    def test_wall_time_drift_fails(self):
+        deviations = compare_reports(self._report(seconds=1.0), self._report(seconds=2.0))
+        assert any(d.failed and d.name == "bench" for d in deviations)
+
+    def test_sub_noise_spans_skipped(self):
+        base, cand = self._report(), self._report()
+        cand["spans"]["bench/tiny"]["total_seconds"] = 0.004  # 4x but < min_seconds
+        assert not any(d.failed for d in compare_reports(base, cand))
+
+    def test_missing_counter_fails(self):
+        base, cand = self._report(), self._report()
+        del cand["counters"]["online.bits_flipped"]
+        assert any(d.failed for d in compare_reports(base, cand))
+
+    def test_missing_span_fails(self):
+        base, cand = self._report(), self._report()
+        del cand["spans"]["bench"]
+        assert any(d.failed and d.kind == "span" for d in compare_reports(base, cand))
+
+
+class TestPipelineIntegration:
+    def test_enabled_training_records_epochs(self, tiny_model, tiny_dataset):
+        from repro.core.training import TrainingConfig, train_model
+
+        telemetry.enable()
+        train_model(tiny_model, tiny_dataset, TrainingConfig(epochs=2, seed=0))
+        report = telemetry.dump()
+        assert report["counters"]["train.epochs"] == 2
+        assert report["spans"]["train.epoch"]["count"] == 2
+
+    def test_hammer_counters(self, small_dram):
+        from repro.rowhammer.device_profiles import get_profile
+        from repro.rowhammer.hammer import HammerEngine
+
+        telemetry.enable()
+        engine = HammerEngine(small_dram, get_profile("K1"))
+        engine.hammer_victim(0, 1, n_sides=7)
+        counters = telemetry.dump()["counters"]
+        assert counters["hammer.attempts"] == 1
+        assert counters["hammer.simulated_seconds"] == pytest.approx(0.4)
