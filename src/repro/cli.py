@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``):
     python -m repro.cli devices
     python -m repro.cli bench --out BENCH_pipeline.json
     python -m repro.cli bench-check benchmarks/BENCH_pipeline.json BENCH_pipeline.json
+    python -m repro.cli sweep --models resnet20 --devices K1,A1 --workers 4 --out rows.json
 """
 
 from __future__ import annotations
@@ -18,11 +19,12 @@ from typing import List, Optional
 
 
 def _cmd_devices(args: argparse.Namespace) -> int:
-    from repro.rowhammer import DEVICE_PROFILES
+    from repro.rowhammer import available_profiles
 
+    profiles = available_profiles()
     print(f"{'tag':<5} {'DDR':>4} {'flips/page':>11} {'TRR':>5}")
-    for name in sorted(DEVICE_PROFILES):
-        profile = DEVICE_PROFILES[name]
+    for name in sorted(profiles):
+        profile = profiles[name]
         print(
             f"{name:<5} {profile.ddr_version:>4} {profile.flips_per_page:>11.2f} "
             f"{'yes' if profile.trr_protected else 'no':>5}"
@@ -80,6 +82,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         epochs=args.epochs,
         iterations=args.iterations,
         n_flip_budget=args.flips,
+        include_sweep=not args.skip_sweep,
     )
     bench_seconds = report["spans"]["bench"]["total_seconds"]
     counters = report["counters"]
@@ -107,6 +110,54 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
     return 1 if any(d.failed for d in deviations) else 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from repro.core.experiment import SCALE_PRESETS, ExperimentScale, format_sweep
+    from repro.parallel import SweepGrid, run_sweep
+
+    scale = SCALE_PRESETS[args.scale] if args.scale else ExperimentScale.from_env()
+    grid_kwargs = dict(
+        methods=tuple(args.methods.split(",")),
+        models=tuple(args.models.split(",")),
+        devices=tuple(args.devices.split(",")),
+        dataset=args.dataset,
+        target_class=args.target,
+        scale=dataclasses.asdict(scale),
+    )
+    if args.replicas is not None:
+        grid = SweepGrid.with_replicas(args.base_seed, args.replicas, **grid_kwargs)
+    else:
+        grid = SweepGrid(seeds=tuple(int(s) for s in args.seeds.split(",")), **grid_kwargs)
+
+    journal = args.journal or f"{args.out}.journal.jsonl"
+    result = run_sweep(
+        grid,
+        workers=args.workers,
+        journal_path=journal,
+        resume=args.resume,
+        max_attempts=args.max_attempts,
+        backoff_seconds=args.backoff,
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(result.rows, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(format_sweep(result.rows))
+    print(
+        f"sweep: {result.completed_count} completed, {result.resumed_count} resumed, "
+        f"{len(result.failures)} failed ({len(result.outcomes)} tasks, "
+        f"workers={args.workers}); rows -> {args.out}, journal -> {journal}"
+    )
+    for failure in result.failures:
+        error = failure.error or {}
+        print(
+            f"  FAILED {failure.task.task_id} after {failure.attempts} attempt(s): "
+            f"{error.get('type')}: {error.get('message')}"
+        )
+    return 1 if result.failures else 0
+
+
 def _cmd_table2(args: argparse.Namespace) -> int:
     from repro.core.experiment import ExperimentScale, format_table2, run_method_comparison
 
@@ -115,7 +166,8 @@ def _cmd_table2(args: argparse.Namespace) -> int:
         "BadNet", "FT", "TBT", "CFT", "CFT+BR"
     )
     rows = run_method_comparison(
-        args.model, dataset=args.dataset, methods=methods, scale=scale, seed=args.seed
+        args.model, dataset=args.dataset, methods=methods, scale=scale, seed=args.seed,
+        workers=args.workers,
     )
     print(format_table2(rows))
     return 0
@@ -157,6 +209,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--epochs", type=int, default=3)
     bench.add_argument("--iterations", type=int, default=10)
     bench.add_argument("--flips", type=int, default=2)
+    bench.add_argument("--skip-sweep", action="store_true",
+                       help="skip the 1-vs-2-worker sweep timing section")
 
     check = sub.add_parser(
         "bench-check", help="fail if a bench report regressed against a baseline"
@@ -175,6 +229,37 @@ def build_parser() -> argparse.ArgumentParser:
     table2.add_argument("--dataset", default="cifar10", choices=["cifar10", "imagenet"])
     table2.add_argument("--methods", help="comma-separated subset of methods")
     table2.add_argument("--seed", type=int, default=0)
+    table2.add_argument("--workers", type=int, default=1,
+                        help="process-pool size for the per-method fan-out")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a (method x model x device x seed) grid across a process pool",
+    )
+    sweep.add_argument("--methods", default="BadNet,FT,TBT,CFT,CFT+BR",
+                       help="comma-separated attack methods")
+    sweep.add_argument("--models", default="resnet20", help="comma-separated model names")
+    sweep.add_argument("--devices", default="K1", help="comma-separated Table I device tags")
+    sweep.add_argument("--seeds", default="0", help="comma-separated explicit seeds")
+    sweep.add_argument("--replicas", type=int, default=None,
+                       help="instead of --seeds: N replica seeds derived from --base-seed")
+    sweep.add_argument("--base-seed", type=int, default=0,
+                       help="root seed for --replicas derivation")
+    sweep.add_argument("--dataset", default="cifar10", choices=["cifar10", "imagenet"])
+    sweep.add_argument("--target", type=int, default=2, help="backdoor target class")
+    sweep.add_argument("--scale", choices=["micro", "tiny", "small", "full"],
+                       help="experiment scale preset (default: REPRO_BENCH_SCALE)")
+    sweep.add_argument("--workers", type=int, default=1, help="process-pool size")
+    sweep.add_argument("--out", default="sweep_rows.json",
+                       help="write the final result rows here as JSON")
+    sweep.add_argument("--journal", help="JSONL checkpoint journal "
+                       "(default: <out>.journal.jsonl)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip tasks the journal already records as successful")
+    sweep.add_argument("--max-attempts", type=int, default=2,
+                       help="attempts per task before recording a failure")
+    sweep.add_argument("--backoff", type=float, default=0.25,
+                       help="base retry backoff in seconds (doubles per attempt)")
 
     return parser
 
@@ -189,6 +274,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "table2": _cmd_table2,
         "bench": _cmd_bench,
         "bench-check": _cmd_bench_check,
+        "sweep": _cmd_sweep,
     }
     return handlers[args.command](args)
 

@@ -14,8 +14,10 @@ vary with the host, which is why the regression gate takes a tolerance.
 
 from __future__ import annotations
 
+import dataclasses
 import platform
-from typing import Dict, Optional
+import time
+from typing import Dict, Optional, Sequence
 
 from repro import telemetry
 from repro.attacks import AttackConfig, CFTAttack
@@ -49,6 +51,55 @@ class BenchCNN(Module):
         return self.fc(self.hidden(self.pool(out)).relu())
 
 
+def _bench_sweep_durations(
+    seed: int, workers_list: Sequence[int] = (1, 2)
+) -> Dict[int, float]:
+    """Wall-clock one micro sweep per pool size (same grid, warm model cache).
+
+    Records gauges ``sweep.workersN_seconds`` plus ``sweep.speedup`` so the
+    committed benchmark baseline makes the fan-out win (or regression)
+    visible.  Worker telemetry capture is off: the timing, not the merged
+    per-task metrics, is what this section benchmarks.
+    """
+    from repro.core.experiment import SCALE_PRESETS
+    from repro.core.training import pretrained_quantized_model
+    from repro.parallel import SweepGrid, run_sweep
+
+    scale = SCALE_PRESETS["micro"]
+    grid = SweepGrid(
+        methods=("CFT", "CFT+BR"),
+        models=("tinycnn",),
+        devices=("K1",),
+        seeds=(seed,),
+        target_class=1,
+        scale=dataclasses.asdict(scale),
+    )
+    with telemetry.span("bench_sweep"):
+        with telemetry.span("bench_sweep.warm_cache"):
+            # Train-and-cache once so every timed sweep loads the same
+            # checkpoint and the 1-vs-N comparison is training-free.
+            pretrained_quantized_model(
+                "tinycnn", width=scale.width, epochs=scale.epochs, seed=seed
+            )
+        durations: Dict[int, float] = {}
+        for workers in workers_list:
+            with telemetry.span("bench_sweep.run", workers=workers):
+                start = time.perf_counter()
+                result = run_sweep(grid, workers=workers, capture_telemetry=False)
+                durations[workers] = time.perf_counter() - start
+            if result.failures:
+                raise RuntimeError(
+                    f"bench sweep failed with workers={workers}: {result.failures[0].error}"
+                )
+            telemetry.gauge_set(f"sweep.workers{workers}_seconds", durations[workers])
+        baseline_workers = workers_list[0]
+        for workers in workers_list[1:]:
+            telemetry.gauge_set(
+                f"sweep.speedup_x{workers}", durations[baseline_workers] / durations[workers]
+            )
+    return durations
+
+
 def run_bench(
     out: Optional[str] = "BENCH_pipeline.json",
     jsonl: Optional[str] = None,
@@ -57,6 +108,7 @@ def run_bench(
     iterations: int = 10,
     n_flip_budget: int = 2,
     target_class: int = 1,
+    include_sweep: bool = True,
 ) -> Dict[str, object]:
     """Run the benchmark attack end-to-end and return the telemetry report."""
     telemetry.enable()
@@ -99,6 +151,10 @@ def run_bench(
         with telemetry.span("bench.attack", method=attack.name):
             result = pipeline.run(attack, qmodel, attacker_data, test_data, target_class)
 
+    # Outside the "bench" span so the single-run baseline timing is not
+    # distorted by the (parallelism-dependent) sweep comparison.
+    sweep_durations = _bench_sweep_durations(seed) if include_sweep else {}
+
     meta = {
         "benchmark": "repro-bench",
         "version": __version__,
@@ -109,6 +165,7 @@ def run_bench(
         "n_flip_budget": n_flip_budget,
         "method": result.method,
         "online_n_flip": result.online_n_flip,
+        "sweep_workers_seconds": {str(k): v for k, v in sweep_durations.items()},
     }
     report = telemetry.dump(out, meta=meta)
     if jsonl is not None:

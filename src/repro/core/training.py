@@ -24,7 +24,14 @@ from repro.nn.module import Module
 from repro.optim import SGD, CosineSchedule
 from repro.quant.qmodel import QuantizedModel
 
-DEFAULT_CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", Path.home() / ".cache" / "repro-models"))
+def default_cache_dir() -> Path:
+    """Model-zoo cache location, resolved at call time.
+
+    Reading ``REPRO_CACHE_DIR`` per call (not at import) lets tests and
+    parallel sweep workers redirect the cache with an environment variable
+    even after :mod:`repro` has been imported.
+    """
+    return Path(os.environ.get("REPRO_CACHE_DIR", str(Path.home() / ".cache" / "repro-models")))
 
 
 @dataclasses.dataclass
@@ -114,7 +121,7 @@ def pretrained_quantized_model(
     Models are cached as ``.npz`` state dicts keyed by every hyperparameter
     that affects the weights, so repeated benchmark runs skip training.
     """
-    cache_dir = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
+    cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
     cache_dir.mkdir(parents=True, exist_ok=True)
     train_data, test_data, attacker_data = _dataset_splits(dataset, seed)
     num_classes = int(train_data.labels.max()) + 1
@@ -130,5 +137,15 @@ def pretrained_quantized_model(
         model.eval()
     else:
         train_model(model, train_data, TrainingConfig(epochs=epochs, seed=seed), test_data)
-        np.savez(cache_path, **model.state_dict())
+        # Write-to-temp + atomic rename: concurrent sweep workers training
+        # the same victim must never observe a torn checkpoint.  Identical
+        # seeds produce identical bytes, so last-writer-wins is harmless.
+        tmp_path = cache_path.with_name(f"{cache_path.name}.tmp.{os.getpid()}")
+        try:
+            with open(tmp_path, "wb") as handle:
+                np.savez(handle, **model.state_dict())
+            os.replace(tmp_path, cache_path)
+        finally:
+            if tmp_path.exists():
+                tmp_path.unlink()
     return QuantizedModel(model), train_data, test_data, attacker_data

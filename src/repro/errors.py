@@ -35,3 +35,7 @@ class AttackError(ReproError):
 
 class DefenseError(ReproError):
     """A defense was configured or executed incorrectly."""
+
+
+class SweepError(ReproError):
+    """A parallel experiment sweep was misconfigured or failed permanently."""

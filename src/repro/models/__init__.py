@@ -10,6 +10,7 @@ from repro.models.resnet import (
     resnet34,
     resnet50,
 )
+from repro.models.tiny import TinySweepCNN, tinycnn
 from repro.models.vgg import VGG, vgg11, vgg16
 from repro.models.registry import MODEL_REGISTRY, build_model
 
@@ -22,6 +23,8 @@ __all__ = [
     "resnet32",
     "resnet34",
     "resnet50",
+    "TinySweepCNN",
+    "tinycnn",
     "VGG",
     "vgg11",
     "vgg16",

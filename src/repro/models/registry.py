@@ -5,11 +5,13 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from repro.models.resnet import resnet18, resnet20, resnet32, resnet34, resnet50
+from repro.models.tiny import tinycnn
 from repro.models.vgg import vgg11, vgg16
 from repro.nn.module import Module
 from repro.utils.rng import SeedLike
 
 MODEL_REGISTRY: Dict[str, Callable[..., Module]] = {
+    "tinycnn": tinycnn,
     "resnet18": resnet18,
     "resnet20": resnet20,
     "resnet32": resnet32,

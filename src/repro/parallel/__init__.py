@@ -1,0 +1,28 @@
+"""Parallel experiment fan-out: grids, checkpoint journals and the runner.
+
+Reproducing a paper table is a grid of independent pipeline runs; this
+package shards such grids across a process pool with deterministic output
+(worker count never changes numbers), JSONL checkpoint/resume and
+structured failure handling.  See ``README.md`` ("Parallel sweeps").
+"""
+
+from repro.parallel.grid import SweepGrid, SweepTask, ensure_unique, grid_sha_of
+from repro.parallel.journal import JOURNAL_SCHEMA, JournalState, SweepJournal
+from repro.parallel.runner import SweepResult, TaskOutcome, run_sweep
+from repro.parallel.worker import execute_task, initialize_worker, reset_worker_state
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "JournalState",
+    "SweepGrid",
+    "SweepJournal",
+    "SweepResult",
+    "SweepTask",
+    "TaskOutcome",
+    "ensure_unique",
+    "execute_task",
+    "grid_sha_of",
+    "initialize_worker",
+    "reset_worker_state",
+    "run_sweep",
+]

@@ -1,0 +1,132 @@
+"""JSONL checkpoint journal for parallel sweeps.
+
+One line per event, appended and flushed as tasks finish, so a sweep killed
+at any point leaves a journal whose intact prefix is a valid checkpoint:
+
+- ``{"kind": "header", ...}``   -- grid identity (sha + task count), once;
+- ``{"kind": "result", ...}``   -- one per finished task (ok or failed);
+- ``{"kind": "resume", ...}``   -- appended each time a sweep resumes.
+
+Loading tolerates a torn trailing line (the kill case) and skips malformed
+interior lines rather than aborting, because losing one checkpoint entry
+only costs re-running that task.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, IO, List, Optional, Union
+
+from repro.errors import SweepError
+
+JOURNAL_SCHEMA = 1
+
+
+@dataclasses.dataclass
+class JournalState:
+    """Parsed view of an on-disk journal."""
+
+    header: Optional[Dict[str, object]] = None
+    records: Dict[str, Dict[str, object]] = dataclasses.field(default_factory=dict)
+    resumes: List[Dict[str, object]] = dataclasses.field(default_factory=list)
+    malformed_lines: int = 0
+
+    @property
+    def completed(self) -> Dict[str, Dict[str, object]]:
+        """task_id -> record for every task that finished successfully."""
+        return {
+            task_id: record
+            for task_id, record in self.records.items()
+            if record.get("status") == "ok"
+        }
+
+
+class SweepJournal:
+    """Append-only JSONL writer with crash-tolerant loading."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle: Optional[IO[str]] = None
+
+    # -- writing ---------------------------------------------------------
+    def open(self) -> "SweepJournal":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # A sweep killed mid-write leaves a torn line without a trailing
+        # newline; terminate it so the next append starts a fresh line
+        # instead of corrupting itself by concatenation.
+        if self.path.exists():
+            with open(self.path, "rb") as handle:
+                handle.seek(0, 2)
+                if handle.tell() > 0:
+                    handle.seek(-1, 2)
+                    torn = handle.read(1) != b"\n"
+            if torn:
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write("\n")
+        self._handle = open(self.path, "a", encoding="utf-8")
+        return self
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self.open()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def append(self, record: Dict[str, object]) -> None:
+        """Write one event line and flush it (the checkpoint guarantee)."""
+        if self._handle is None:
+            raise SweepError("journal is not open for appending")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def append_header(self, grid_sha: str, total_tasks: int, **extra: object) -> None:
+        self.append(
+            {
+                "kind": "header",
+                "schema": JOURNAL_SCHEMA,
+                "grid_sha": grid_sha,
+                "total_tasks": total_tasks,
+                **extra,
+            }
+        )
+
+    # -- reading ---------------------------------------------------------
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> JournalState:
+        """Parse a journal, skipping torn/malformed lines.
+
+        Later ``result`` lines for the same task supersede earlier ones
+        (a failed attempt followed by a successful retry on resume).
+        """
+        state = JournalState()
+        journal_path = Path(path)
+        if not journal_path.exists():
+            return state
+        with open(journal_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    state.malformed_lines += 1
+                    continue
+                kind = event.get("kind")
+                if kind == "header":
+                    if state.header is None:
+                        state.header = event
+                elif kind == "result" and "task_id" in event:
+                    state.records[str(event["task_id"])] = event
+                elif kind == "resume":
+                    state.resumes.append(event)
+                else:
+                    state.malformed_lines += 1
+        return state

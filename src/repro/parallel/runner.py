@@ -1,0 +1,329 @@
+"""Process-pool sweep runner with checkpoint/resume and retry-with-backoff.
+
+The runner shards an expanded :class:`~repro.parallel.grid.SweepGrid`
+across ``ProcessPoolExecutor`` workers.  Three guarantees:
+
+- **Determinism**: every task carries its own explicit seed, result rows
+  are returned in grid order, and worker telemetry is merged in grid order
+  -- so ``workers=N`` never changes any output, numeric or telemetric.
+- **Checkpointing**: each finished task is appended (and flushed) to a
+  JSONL journal; ``resume=True`` skips tasks the journal already records
+  as successful, re-running only the remainder.
+- **Degradation**: a task that raises is retried with exponential backoff
+  up to ``max_attempts``; a worker that dies outright (``BrokenProcessPool``)
+  costs that task one attempt, the pool is rebuilt, and in-flight tasks are
+  resubmitted -- the sweep finishes with a structured failure record
+  instead of crashing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro import telemetry
+from repro.errors import SweepError
+from repro.parallel import worker
+from repro.parallel.grid import SweepGrid, SweepTask, ensure_unique, grid_sha_of
+from repro.parallel.journal import SweepJournal
+from repro.telemetry.spans import SpanRecord
+
+TaskRunner = Callable[[Dict[str, object]], Dict[str, object]]
+
+
+@dataclasses.dataclass
+class TaskOutcome:
+    """Final state of one grid task after all attempts (or a resume skip)."""
+
+    task: SweepTask
+    status: str  # "ok" | "failed" | "resumed"
+    attempts: int = 0
+    duration_seconds: float = 0.0
+    row: Optional[Dict[str, object]] = None
+    error: Optional[Dict[str, object]] = None
+    metrics: Optional[Dict[str, object]] = None
+    spans: Optional[List[Dict[str, object]]] = None
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """Everything a finished sweep produced, in grid order."""
+
+    outcomes: List[TaskOutcome]
+    grid_sha: str
+    journal_path: Optional[str] = None
+
+    @property
+    def rows(self) -> List[Dict[str, object]]:
+        """Result rows of successful (or resumed) tasks, in grid order."""
+        return [o.row for o in self.outcomes if o.row is not None]
+
+    @property
+    def failures(self) -> List[TaskOutcome]:
+        return [o for o in self.outcomes if o.status == "failed"]
+
+    @property
+    def resumed_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "resumed")
+
+    @property
+    def completed_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "ok")
+
+
+def run_sweep(
+    grid: Union[SweepGrid, Sequence[SweepTask]],
+    workers: int = 1,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
+    max_attempts: int = 2,
+    backoff_seconds: float = 0.25,
+    mp_context: str = "spawn",
+    capture_telemetry: Optional[bool] = None,
+    task_runner: TaskRunner = worker.execute_task,
+) -> SweepResult:
+    """Run every grid task, fanned out over ``workers`` processes.
+
+    ``workers <= 1`` executes tasks inline (no pool) -- numerically
+    identical to any pooled run, since each task is a pure function of its
+    descriptor.  ``capture_telemetry`` defaults to the parent's
+    :func:`repro.telemetry.enabled` state; when on, worker metrics and
+    span trees are merged into the parent registry in grid order.
+    """
+    if max_attempts < 1:
+        raise SweepError(f"max_attempts must be positive, got {max_attempts}")
+    tasks = ensure_unique(grid.expand() if isinstance(grid, SweepGrid) else list(grid))
+    sha = grid_sha_of(tasks)
+    if capture_telemetry is None:
+        capture_telemetry = telemetry.enabled()
+    payloads = [
+        {"task": task.to_json(), "telemetry": capture_telemetry} for task in tasks
+    ]
+
+    outcomes: Dict[int, TaskOutcome] = {}
+    journal: Optional[SweepJournal] = None
+    try:
+        if journal_path is not None:
+            journal = _open_journal(journal_path, sha, tasks, resume, outcomes)
+        elif resume:
+            raise SweepError("resume=True requires a journal_path to resume from")
+
+        pending = [index for index in range(len(tasks)) if index not in outcomes]
+
+        def finalize(index: int, attempt: int, outcome_dict: Dict[str, object]) -> None:
+            outcome = TaskOutcome(
+                task=tasks[index],
+                status=str(outcome_dict.get("status", "failed")),
+                attempts=attempt,
+                duration_seconds=float(outcome_dict.get("duration_seconds", 0.0)),
+                row=outcome_dict.get("row"),
+                error=outcome_dict.get("error"),
+                metrics=outcome_dict.get("metrics"),
+                spans=outcome_dict.get("spans"),
+            )
+            outcomes[index] = outcome
+            if journal is not None:
+                record: Dict[str, object] = {
+                    "kind": "result",
+                    "task_id": tasks[index].task_id,
+                    "status": outcome.status,
+                    "attempts": attempt,
+                    "duration_seconds": outcome.duration_seconds,
+                }
+                if outcome.status == "ok":
+                    record["row"] = outcome.row
+                else:
+                    record["error"] = outcome.error
+                journal.append(record)
+
+        with telemetry.span("sweep", workers=workers, tasks=len(tasks)):
+            if pending:
+                if workers <= 1:
+                    _run_inline(
+                        pending, payloads, task_runner, max_attempts, backoff_seconds, finalize
+                    )
+                else:
+                    _run_pool(
+                        pending,
+                        payloads,
+                        task_runner,
+                        workers,
+                        max_attempts,
+                        backoff_seconds,
+                        mp_context,
+                        finalize,
+                    )
+            ordered = [outcomes[index] for index in range(len(tasks))]
+            _record_sweep_telemetry(ordered)
+    finally:
+        if journal is not None:
+            journal.close()
+    return SweepResult(outcomes=ordered, grid_sha=sha, journal_path=journal_path)
+
+
+# ---------------------------------------------------------------------------
+def _open_journal(
+    journal_path: str,
+    sha: str,
+    tasks: Sequence[SweepTask],
+    resume: bool,
+    outcomes: Dict[int, TaskOutcome],
+) -> SweepJournal:
+    """Open (and maybe replay) the journal; fills ``outcomes`` with skips."""
+    state = SweepJournal.load(journal_path)
+    if not resume and state.records:
+        raise SweepError(
+            f"journal {journal_path!r} already holds {len(state.records)} results; "
+            "pass resume=True to continue it or point --journal elsewhere"
+        )
+    if resume and state.header is not None and state.header.get("grid_sha") != sha:
+        raise SweepError(
+            f"journal {journal_path!r} was written for a different grid "
+            f"(sha {state.header.get('grid_sha')!r} != {sha!r})"
+        )
+    journal = SweepJournal(journal_path).open()
+    if state.header is None:
+        journal.append_header(grid_sha=sha, total_tasks=len(tasks))
+    if resume:
+        completed = state.completed
+        for index, task in enumerate(tasks):
+            record = completed.get(task.task_id)
+            if record is None:
+                continue
+            outcomes[index] = TaskOutcome(
+                task=task,
+                status="resumed",
+                attempts=int(record.get("attempts", 1)),
+                duration_seconds=float(record.get("duration_seconds", 0.0)),
+                row=record.get("row"),
+            )
+        if state.records:
+            journal.append(
+                {"kind": "resume", "grid_sha": sha, "skipped": len(outcomes)}
+            )
+    return journal
+
+
+def _attempt_failure(exc: BaseException) -> Dict[str, object]:
+    """Synthetic outcome for a task whose worker died before answering."""
+    return {
+        "status": "failed",
+        "error": {
+            "type": type(exc).__name__,
+            "message": str(exc) or "worker process crashed",
+            "traceback": "",
+        },
+    }
+
+
+def _backoff(backoff_seconds: float, attempt: int) -> None:
+    if backoff_seconds > 0:
+        time.sleep(backoff_seconds * (2 ** (attempt - 1)))
+
+
+def _run_inline(
+    pending: Sequence[int],
+    payloads: Sequence[Dict[str, object]],
+    task_runner: TaskRunner,
+    max_attempts: int,
+    backoff_seconds: float,
+    finalize: Callable[[int, int, Dict[str, object]], None],
+) -> None:
+    for index in pending:
+        attempt = 1
+        while True:
+            try:
+                outcome = task_runner(payloads[index])
+            except Exception as exc:  # custom runners may raise
+                outcome = _attempt_failure(exc)
+            if outcome.get("status") == "ok" or attempt >= max_attempts:
+                finalize(index, attempt, outcome)
+                break
+            _backoff(backoff_seconds, attempt)
+            attempt += 1
+
+
+def _run_pool(
+    pending: Sequence[int],
+    payloads: Sequence[Dict[str, object]],
+    task_runner: TaskRunner,
+    workers: int,
+    max_attempts: int,
+    backoff_seconds: float,
+    mp_context: str,
+    finalize: Callable[[int, int, Dict[str, object]], None],
+) -> None:
+    context = multiprocessing.get_context(mp_context)
+    queue: Deque[Tuple[int, int]] = deque((index, 1) for index in pending)
+    active: Dict[Future, Tuple[int, int]] = {}
+    executor: Optional[ProcessPoolExecutor] = None
+
+    def handle(index: int, attempt: int, outcome: Dict[str, object]) -> None:
+        if outcome.get("status") == "ok" or attempt >= max_attempts:
+            finalize(index, attempt, outcome)
+        else:
+            _backoff(backoff_seconds, attempt)
+            queue.append((index, attempt + 1))
+
+    try:
+        while queue or active:
+            if executor is None:
+                executor = ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=context,
+                    initializer=worker.initialize_worker,
+                )
+            while queue:
+                index, attempt = queue.popleft()
+                active[executor.submit(task_runner, payloads[index])] = (index, attempt)
+            done, _ = wait(set(active), return_when=FIRST_COMPLETED)
+            pool_broken = False
+            for future in done:
+                index, attempt = active.pop(future)
+                try:
+                    outcome = future.result()
+                except (BrokenProcessPool, OSError) as exc:
+                    # The worker died without answering (os._exit, segfault,
+                    # OOM kill).  Costs this task one attempt; the pool is
+                    # rebuilt below and everything in flight is resubmitted.
+                    pool_broken = True
+                    outcome = _attempt_failure(exc)
+                except Exception as exc:
+                    outcome = _attempt_failure(exc)
+                handle(index, attempt, outcome)
+            if pool_broken:
+                for index, attempt in active.values():
+                    queue.append((index, attempt))
+                active.clear()
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = None
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+
+def _record_sweep_telemetry(ordered: Sequence[TaskOutcome]) -> None:
+    """Merge worker telemetry into the parent, strictly in grid order."""
+    if not telemetry.enabled():
+        return
+    registry = telemetry.get_registry()
+    tracer = telemetry.get_tracer()
+    for outcome in ordered:
+        telemetry.counter_add(f"sweep.tasks_{outcome.status}")
+        if outcome.attempts > 1:
+            telemetry.counter_add("sweep.retries", outcome.attempts - 1)
+        if outcome.status == "ok":
+            telemetry.histogram_observe("sweep.task_seconds", outcome.duration_seconds)
+        if outcome.metrics:
+            registry.merge_snapshot(
+                counters=outcome.metrics.get("counters"),
+                gauges=outcome.metrics.get("gauges"),
+                histogram_values=outcome.metrics.get("histogram_values"),
+            )
+        for span_payload in outcome.spans or ():
+            tracer.attach(SpanRecord.from_dict(span_payload))

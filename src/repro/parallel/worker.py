@@ -1,0 +1,118 @@
+"""Sweep worker: runs one task in a (possibly forked/spawned) process.
+
+Workers are plain functions over JSON-able payloads so they pickle cleanly
+into :class:`concurrent.futures.ProcessPoolExecutor`.  ``execute_task``
+never raises -- failures come back as structured outcome dicts, so one
+crashing task degrades the sweep instead of killing it.
+
+Process-global mutable state audit (what :func:`reset_worker_state` must
+cover, because ``fork`` workers inherit the parent's modules verbatim):
+
+- :mod:`repro.telemetry`'s module-level registry/tracer/enabled flag --
+  reset and disabled here; each task records into a fresh isolated pair.
+- :mod:`repro.rowhammer.device_profiles`' custom-profile registry --
+  restored to the built-in Table I set.
+- The model-zoo disk cache (:mod:`repro.core.training`) is shared on
+  purpose; writes are atomic (temp file + rename), so concurrent workers
+  can never read a torn checkpoint.
+- :data:`repro.models.MODEL_REGISTRY` and the quantization/page constants
+  are populated at import time and never mutated: safe under fork.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Dict, Optional
+
+from repro import telemetry
+from repro.parallel.grid import SweepTask
+from repro.rowhammer import device_profiles
+
+
+def reset_worker_state() -> None:
+    """Reset every known piece of process-global mutable state."""
+    telemetry.disable()
+    telemetry.get_tracer().reset(force=True)
+    telemetry.get_registry().reset()
+    device_profiles.reset_profiles()
+
+
+def initialize_worker() -> None:
+    """``ProcessPoolExecutor`` initializer: start from a clean slate."""
+    reset_worker_state()
+
+
+def _run_task(task: SweepTask) -> Dict[str, float]:
+    # Imported lazily: repro.core.experiment imports the runner, which
+    # imports this module, so a top-level import would be circular.
+    from repro.core.experiment import ExperimentScale, run_single_experiment
+
+    scale = ExperimentScale(**task.scale) if task.scale is not None else ExperimentScale.from_env()
+    return run_single_experiment(
+        task.method,
+        task.model,
+        dataset=task.dataset,
+        scale=scale,
+        target_class=task.target_class,
+        device=task.device,
+        seed=task.seed,
+    )
+
+
+def execute_task(payload: Dict[str, object]) -> Dict[str, object]:
+    """Run one task; return a structured outcome dict (never raises).
+
+    ``payload`` is ``{"task": <SweepTask JSON>, "telemetry": bool}``.  With
+    telemetry requested, the task runs inside an isolated registry/tracer
+    (safe both in a worker process and inline in the parent) and the
+    outcome carries the raw metric values plus the serialized span tree for
+    deterministic merging on the parent side.
+    """
+    start = time.perf_counter()
+    task_id: Optional[str] = None
+    try:
+        task = SweepTask.from_json(dict(payload["task"]))  # type: ignore[arg-type]
+        task_id = task.task_id
+        capture = bool(payload.get("telemetry", False))
+        metrics: Optional[Dict[str, object]] = None
+        spans = None
+        if capture:
+            with telemetry.isolated(enable=True) as (registry, tracer):
+                with telemetry.span("sweep.task", task=task_id):
+                    row = _run_task(task)
+                snapshot = registry.snapshot()
+                metrics = {
+                    "counters": snapshot["counters"],
+                    "gauges": snapshot["gauges"],
+                    "histogram_values": registry.histogram_values(),
+                }
+                spans = [record.to_dict() for record in tracer.roots]
+        else:
+            # Still isolated (and muted): an inline task must not leak its
+            # pipeline counters/spans into the parent registry, which would
+            # make workers=1 telemetry differ from pooled runs.
+            with telemetry.isolated(enable=False):
+                row = _run_task(task)
+        return {
+            "task_id": task_id,
+            "status": "ok",
+            "row": row,
+            "duration_seconds": time.perf_counter() - start,
+            "metrics": metrics,
+            "spans": spans,
+        }
+    except BaseException as exc:  # noqa: B036 - workers must not propagate
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise
+        return {
+            "task_id": task_id,
+            "status": "failed",
+            "row": None,
+            "duration_seconds": time.perf_counter() - start,
+            "error": {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            },
+        }

@@ -5,7 +5,10 @@ from repro.rowhammer.device_profiles import (
     DDR4_PROFILES,
     DEVICE_PROFILES,
     DeviceProfile,
+    available_profiles,
     get_profile,
+    register_profile,
+    reset_profiles,
 )
 from repro.rowhammer.hammer import HammerEngine
 from repro.rowhammer.profiler import FlipProfile, FlipRecord, MemoryProfiler
@@ -16,7 +19,10 @@ __all__ = [
     "DDR3_PROFILES",
     "DDR4_PROFILES",
     "DEVICE_PROFILES",
+    "available_profiles",
     "get_profile",
+    "register_profile",
+    "reset_profiles",
     "HammerEngine",
     "MemoryProfiler",
     "FlipProfile",

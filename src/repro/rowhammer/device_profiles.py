@@ -76,12 +76,44 @@ DEVICE_PROFILES: Dict[str, DeviceProfile] = {**DDR3_PROFILES, **DDR4_PROFILES}
 # 32,768 pages of a 128 MB buffer (Section IV-A2, Fig. 2).
 PAPER_DDR3_REFERENCE = _ddr3("paper-ddr3", 381_962 / 32_768)
 
+# Custom (user-measured) profiles registered at runtime.  This is the one
+# piece of process-global mutable state in the module: parallel sweep
+# workers call :func:`reset_profiles` during initialization so profiles
+# registered in the parent never leak into (or differ across) workers.
+_CUSTOM_PROFILES: Dict[str, DeviceProfile] = {}
+
+
+def register_profile(profile: DeviceProfile, overwrite: bool = False) -> DeviceProfile:
+    """Register a custom device profile for lookup by :func:`get_profile`.
+
+    The built-in Table I tags cannot be shadowed; a duplicate custom tag
+    requires ``overwrite=True``.
+    """
+    if profile.name in DEVICE_PROFILES:
+        raise ValueError(f"cannot shadow built-in Table I profile {profile.name!r}")
+    if profile.name in _CUSTOM_PROFILES and not overwrite:
+        raise ValueError(
+            f"custom profile {profile.name!r} already registered (overwrite=True to replace)"
+        )
+    _CUSTOM_PROFILES[profile.name] = profile
+    return profile
+
+
+def reset_profiles() -> None:
+    """Drop every custom profile, restoring the built-in Table I set."""
+    _CUSTOM_PROFILES.clear()
+
+
+def available_profiles() -> Dict[str, DeviceProfile]:
+    """All resolvable profiles: the Table I set plus custom registrations."""
+    return {**DEVICE_PROFILES, **_CUSTOM_PROFILES}
+
 
 def get_profile(name: str) -> DeviceProfile:
-    """Look up a Table I device profile by tag (e.g. ``"K1"``)."""
+    """Look up a device profile by tag (Table I, e.g. ``"K1"``, or custom)."""
     try:
-        return DEVICE_PROFILES[name]
+        return _CUSTOM_PROFILES.get(name) or DEVICE_PROFILES[name]
     except KeyError:
         raise KeyError(
-            f"unknown DRAM device {name!r}; available: {sorted(DEVICE_PROFILES)}"
+            f"unknown DRAM device {name!r}; available: {sorted(available_profiles())}"
         ) from None

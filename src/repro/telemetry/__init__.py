@@ -19,8 +19,9 @@ a small end-to-end attack to produce the CI benchmark baseline.
 
 from __future__ import annotations
 
+import contextlib
 import os
-from typing import ContextManager, Dict, Optional
+from typing import ContextManager, Dict, Iterator, Optional, Tuple
 
 from repro.telemetry.export import (
     SCHEMA,
@@ -59,6 +60,7 @@ __all__ = [
     "get_registry",
     "get_tracer",
     "histogram_observe",
+    "isolated",
     "read_json",
     "read_jsonl",
     "reset",
@@ -115,6 +117,27 @@ def get_registry() -> MetricsRegistry:
 
 def get_tracer() -> SpanTracer:
     return _tracer
+
+
+@contextlib.contextmanager
+def isolated(enable: Optional[bool] = None) -> Iterator[Tuple[MetricsRegistry, SpanTracer]]:
+    """Swap in a fresh registry/tracer for the duration of the block.
+
+    Everything recorded inside is confined to the yielded pair; the previous
+    registry, tracer and enabled flag are restored on exit.  The sweep
+    runner wraps each in-process task in this so per-task metrics can be
+    captured (and later merged) without clobbering the caller's telemetry.
+    ``enable`` optionally overrides the enabled flag inside the block.
+    """
+    global _registry, _tracer, _enabled
+    saved = (_registry, _tracer, _enabled)
+    _registry, _tracer = MetricsRegistry(), SpanTracer()
+    if enable is not None:
+        _enabled = enable
+    try:
+        yield _registry, _tracer
+    finally:
+        _registry, _tracer, _enabled = saved
 
 
 # -- recording (all no-ops while disabled) --------------------------------

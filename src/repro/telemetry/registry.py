@@ -135,6 +135,32 @@ class MetricsRegistry:
         for name in sorted(other._histograms):
             self.histogram(name).values.extend(other._histograms[name].values)
 
+    def merge_snapshot(
+        self,
+        counters: Optional[Dict[str, float]] = None,
+        gauges: Optional[Dict[str, Optional[float]]] = None,
+        histogram_values: Optional[Dict[str, List[float]]] = None,
+    ) -> None:
+        """Fold plain-dict metric values into this registry.
+
+        The pickled form a sweep worker ships back across the process
+        boundary (its :meth:`snapshot` counters/gauges plus
+        :meth:`histogram_values`); same semantics as :meth:`merge`.
+        Callers must merge worker snapshots in a deterministic order
+        (e.g. grid order, not completion order) to keep gauge
+        last-writer-wins results reproducible.
+        """
+        for name in sorted(counters or {}):
+            self.counter(name).add(float(counters[name]))
+        for name in sorted(gauges or {}):
+            value = gauges[name]
+            if value is not None:
+                self.gauge(name).set(float(value))
+        for name in sorted(histogram_values or {}):
+            self.histogram(name).values.extend(
+                float(v) for v in histogram_values[name]
+            )
+
     # -- export ----------------------------------------------------------
     def snapshot(self) -> Dict[str, Dict]:
         """Plain-dict view with sorted keys (JSON-ready, deterministic)."""

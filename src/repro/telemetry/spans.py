@@ -31,6 +31,27 @@ class SpanRecord:
         for child in self.children:
             yield from child.walk()
 
+    def to_dict(self) -> Dict[str, object]:
+        """Picklable/JSON-able form (how sweep workers ship spans home)."""
+        return {
+            "name": self.name,
+            "path": self.path,
+            "duration_seconds": self.duration_seconds,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SpanRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=str(payload["name"]),
+            path=str(payload["path"]),
+            duration_seconds=float(payload.get("duration_seconds", 0.0)),
+            attributes=dict(payload.get("attributes", {})),
+            children=[cls.from_dict(c) for c in payload.get("children", [])],
+        )
+
 
 class SpanTracer:
     """Collects a forest of nested span records."""
@@ -57,6 +78,24 @@ class SpanTracer:
             # A force-reset inside the span may already have cleared the stack.
             if self._stack and self._stack[-1] is record:
                 self._stack.pop()
+
+    def attach(self, record: SpanRecord) -> SpanRecord:
+        """Graft a completed record (e.g. from a sweep worker) into the tree.
+
+        The record nests under the innermost open span -- its ``path`` (and
+        its children's) is rewritten for the new parent -- or becomes a new
+        root when no span is open.
+        """
+        parent = self._stack[-1] if self._stack else None
+
+        def rebase(node: SpanRecord, parent_path: Optional[str]) -> None:
+            node.path = f"{parent_path}/{node.name}" if parent_path else node.name
+            for child in node.children:
+                rebase(child, node.path)
+
+        rebase(record, parent.path if parent else None)
+        (parent.children if parent else self.roots).append(record)
+        return record
 
     # -- views -----------------------------------------------------------
     def reset(self, force: bool = False) -> None:

@@ -7,6 +7,7 @@ experiments reproducible end-to-end.
 
 from __future__ import annotations
 
+import hashlib
 from typing import List, Union
 
 import numpy as np
@@ -39,3 +40,20 @@ def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
     else:
         root = np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in root.spawn(count)]
+
+
+def derive_seed(root: int, *components: object) -> int:
+    """Derive a stable 32-bit child seed from ``root`` and a label path.
+
+    Components are hashed through SHA-256 of their string form, so --
+    unlike :func:`hash` -- the result is identical across processes,
+    platforms and interpreter restarts.  The parallel sweep runner keys
+    every task's seed this way, which is what makes sweep results
+    independent of worker count and scheduling order.
+    """
+    entropy = [int(root) & 0xFFFF_FFFF_FFFF_FFFF]
+    for component in components:
+        digest = hashlib.sha256(str(component).encode("utf-8")).digest()
+        entropy.append(int.from_bytes(digest[:8], "little"))
+    sequence = np.random.SeedSequence(entropy)
+    return int(sequence.generate_state(1, np.uint32)[0])

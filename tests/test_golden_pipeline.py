@@ -1,0 +1,72 @@
+"""Golden-file regression test: the seeded pipeline's exact result row.
+
+Everything in the pipeline is seeded, so ``PipelineResult.as_row()`` is a
+pure function of the code -- any numeric drift (a changed RNG stream, a
+reordered reduction, a new default) shows up here as an exact mismatch,
+with tolerance zero.
+
+When a change *intentionally* alters the numbers, regenerate the snapshot:
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_pipeline.py
+
+and commit the new ``tests/golden/pipeline_row.json`` alongside the change.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.attacks import AttackConfig, CFTAttack
+from repro.core import BackdoorPipeline, MemoryConfig, PipelineConfig
+from repro.quant import QuantizedModel
+
+from tests.conftest import TinyCNN
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "pipeline_row.json"
+
+
+def _run_seeded_pipeline(tiny_dataset, tiny_test_dataset):
+    pipeline = BackdoorPipeline(
+        PipelineConfig(
+            memory=MemoryConfig(
+                device="K1",
+                num_banks=8,
+                rows_per_bank=512,
+                attacker_buffer_pages=512,
+                seed=3,
+            )
+        )
+    )
+    qmodel = QuantizedModel(TinyCNN(rng=0))
+    config = AttackConfig(
+        target_class=1, iterations=10, n_flip_budget=2, batch_size=16,
+        trigger_size=4, seed=0,
+    )
+    result = pipeline.run(
+        CFTAttack(config, bit_reduction=True),
+        qmodel,
+        tiny_dataset,
+        tiny_test_dataset,
+        target_class=1,
+    )
+    # Canonical JSON round-trip so the comparison sees exactly what the
+    # snapshot file can represent.
+    return json.loads(json.dumps(result.as_row(), sort_keys=True))
+
+
+def test_pipeline_row_matches_golden_snapshot(tiny_dataset, tiny_test_dataset):
+    row = _run_seeded_pipeline(tiny_dataset, tiny_test_dataset)
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(row, indent=2, sort_keys=True) + "\n")
+    assert GOLDEN_PATH.exists(), (
+        f"missing {GOLDEN_PATH}; generate it with REPRO_UPDATE_GOLDEN=1"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert row == golden, (
+        "seeded pipeline row drifted from the golden snapshot (tolerance 0).\n"
+        f"golden:  {json.dumps(golden, sort_keys=True)}\n"
+        f"current: {json.dumps(row, sort_keys=True)}\n"
+        "If the change is intentional, regenerate with REPRO_UPDATE_GOLDEN=1 "
+        "and commit the new snapshot."
+    )

@@ -96,6 +96,7 @@ class TestRegistry:
             "resnet32",
             "resnet34",
             "resnet50",
+            "tinycnn",
             "vgg11",
             "vgg16",
         }

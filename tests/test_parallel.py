@@ -1,0 +1,359 @@
+"""The parallel sweep runner: grids, journals, retries and determinism.
+
+Most tests drive :func:`repro.parallel.run_sweep` with fake task runners so
+the orchestration logic (retry, journaling, resume, pool-crash recovery,
+telemetry merge) is exercised in milliseconds.  The end-to-end determinism
+and resume-after-kill tests at the bottom run the real micro-scale pipeline
+through the CLI; they are the ISSUE's tier-1 acceptance tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import telemetry
+from repro.errors import SweepError
+from repro.parallel import (
+    SweepGrid,
+    SweepJournal,
+    SweepTask,
+    ensure_unique,
+    execute_task,
+    grid_sha_of,
+    reset_worker_state,
+    run_sweep,
+)
+from repro.rowhammer import available_profiles, register_profile, reset_profiles
+from repro.rowhammer.device_profiles import DeviceProfile
+from repro.utils.rng import derive_seed
+
+
+# ---------------------------------------------------------------------------
+# Fake task runners.  Module-level so the spawn-based pool tests can pickle
+# them by reference.
+def _ok_runner(payload):
+    task = SweepTask.from_json(payload["task"])
+    return {
+        "status": "ok",
+        "row": {"method": task.method, "seed": task.seed},
+        "duration_seconds": 0.01,
+    }
+
+
+def _failing_runner(payload):
+    task = SweepTask.from_json(payload["task"])
+    if task.method == "bad":
+        return {
+            "status": "failed",
+            "error": {"type": "AttackError", "message": "boom", "traceback": ""},
+        }
+    return _ok_runner(payload)
+
+
+def _flaky_runner(payload):
+    """Fails on the first call per marker file, succeeds afterwards."""
+    marker = payload["task"]["dataset"]  # smuggled marker path
+    task = SweepTask.from_json(payload["task"])
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8") as handle:
+            handle.write("seen")
+        return {
+            "status": "failed",
+            "error": {"type": "RuntimeError", "message": "flaky", "traceback": ""},
+        }
+    return {"status": "ok", "row": {"method": task.method}, "duration_seconds": 0.0}
+
+
+def _crashing_runner(payload):
+    task = SweepTask.from_json(payload["task"])
+    if task.method == "crash":
+        os._exit(17)  # simulates a segfault / OOM kill: no exception, no answer
+    return _ok_runner(payload)
+
+
+def _metrics_runner(payload):
+    task = SweepTask.from_json(payload["task"])
+    return {
+        "status": "ok",
+        "row": {"method": task.method},
+        "duration_seconds": 0.01,
+        "metrics": {
+            "counters": {"worker.flips": 2},
+            "gauges": {"worker.last_seed": float(task.seed)},
+            "histogram_values": {"worker.loss": [0.5]},
+        },
+        "spans": [
+            {
+                "name": "task_stage",
+                "path": "task_stage",
+                "duration_seconds": 0.01,
+                "attributes": {},
+                "children": [],
+            }
+        ],
+    }
+
+
+def _grid(methods=("a", "b"), seeds=(0,)):
+    return SweepGrid(methods=methods, models=("m",), devices=("K1",), seeds=seeds)
+
+
+# ---------------------------------------------------------------------------
+# Seeds and grids.
+def test_derive_seed_is_stable_and_component_sensitive():
+    assert derive_seed(0, "CFT", 3) == derive_seed(0, "CFT", 3)
+    assert derive_seed(0, "CFT", 3) != derive_seed(0, "CFT", 4)
+    assert derive_seed(0, "CFT", 3) != derive_seed(1, "CFT", 3)
+    assert 0 <= derive_seed(12345, "x") < 2**32
+
+
+def test_grid_expand_is_ordered_and_unique():
+    grid = _grid(methods=("a", "b"), seeds=(0, 1))
+    tasks = grid.expand()
+    assert [(t.seed, t.method) for t in tasks] == [(0, "a"), (0, "b"), (1, "a"), (1, "b")]
+    assert len({t.task_id for t in tasks}) == len(tasks)
+    assert grid_sha_of(tasks) == grid.grid_sha()
+
+
+def test_grid_rejects_empty_axes_and_duplicates():
+    with pytest.raises(SweepError):
+        SweepGrid(methods=(), models=("m",)).expand()
+    with pytest.raises(SweepError):
+        ensure_unique(_grid().expand() + _grid().expand())
+
+
+def test_grid_with_replicas_derives_distinct_seeds():
+    grid = SweepGrid.with_replicas(0, 4, methods=("a",), models=("m",))
+    seeds = [t.seed for t in grid.expand()]
+    assert len(set(seeds)) == 4
+    assert seeds == [t.seed for t in SweepGrid.with_replicas(0, 4, methods=("a",), models=("m",)).expand()]
+
+
+def test_task_json_round_trip_rejects_unknown_fields():
+    task = _grid().expand()[0]
+    assert SweepTask.from_json(task.to_json()) == task
+    with pytest.raises(SweepError):
+        SweepTask.from_json({**task.to_json(), "bogus": 1})
+
+
+# ---------------------------------------------------------------------------
+# Journal.
+def test_journal_round_trip_with_torn_and_malformed_lines(tmp_path):
+    path = tmp_path / "j.jsonl"
+    with SweepJournal(str(path)) as journal:
+        journal.append_header(grid_sha="abc", total_tasks=2)
+        journal.append({"kind": "result", "task_id": "t1", "status": "ok", "row": {"x": 1}})
+        journal.append({"kind": "result", "task_id": "t2", "status": "failed"})
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("not json\n")
+        handle.write('{"kind": "result", "task_id": "t2", "status": "ok", "row": {"x": 2}}\n')
+        handle.write('{"kind": "result", "task_id":')  # torn trailing write
+
+    state = SweepJournal.load(str(path))
+    assert state.header["grid_sha"] == "abc"
+    assert state.malformed_lines == 2
+    # The later t2 line supersedes the failed one.
+    assert set(state.completed) == {"t1", "t2"}
+    assert state.completed["t2"]["row"] == {"x": 2}
+
+
+def test_journal_load_of_missing_file_is_empty(tmp_path):
+    state = SweepJournal.load(str(tmp_path / "absent.jsonl"))
+    assert state.header is None and not state.records
+
+
+# ---------------------------------------------------------------------------
+# Runner orchestration (fake runners, inline).
+def test_run_sweep_inline_returns_rows_in_grid_order():
+    result = run_sweep(_grid(methods=("b", "a")), workers=1, task_runner=_ok_runner)
+    assert [row["method"] for row in result.rows] == ["b", "a"]
+    assert result.completed_count == 2 and not result.failures
+
+
+def test_run_sweep_records_structured_failures_and_keeps_going():
+    result = run_sweep(
+        _grid(methods=("a", "bad", "b")), workers=1, task_runner=_failing_runner,
+        max_attempts=1,
+    )
+    assert [row["method"] for row in result.rows] == ["a", "b"]
+    (failure,) = result.failures
+    assert failure.task.method == "bad"
+    assert failure.error["type"] == "AttackError"
+    assert failure.attempts == 1
+
+
+def test_run_sweep_retries_flaky_task(tmp_path):
+    marker = str(tmp_path / "flaky.marker")
+    grid = [SweepTask(method="a", model="m", device="K1", seed=0, dataset=marker)]
+    result = run_sweep(grid, workers=1, task_runner=_flaky_runner,
+                       max_attempts=2, backoff_seconds=0.0)
+    assert result.completed_count == 1
+    assert result.outcomes[0].attempts == 2
+
+
+def test_run_sweep_rejects_bad_arguments(tmp_path):
+    with pytest.raises(SweepError):
+        run_sweep(_grid(), max_attempts=0, task_runner=_ok_runner)
+    with pytest.raises(SweepError):
+        run_sweep(_grid(), resume=True, task_runner=_ok_runner)  # no journal
+
+
+def test_run_sweep_journal_and_resume(tmp_path):
+    journal = str(tmp_path / "sweep.jsonl")
+    grid = _grid(methods=("a", "b", "c"))
+    first = run_sweep(grid, workers=1, journal_path=journal, task_runner=_ok_runner)
+    assert first.completed_count == 3
+
+    # Simulate a kill after the first result: header + one result line.
+    lines = open(journal, encoding="utf-8").read().splitlines(True)
+    cut = str(tmp_path / "cut.jsonl")
+    with open(cut, "w", encoding="utf-8") as handle:
+        handle.writelines(lines[:2])
+        handle.write(lines[2][: len(lines[2]) // 2])  # torn mid-write line
+
+    resumed = run_sweep(grid, workers=1, journal_path=cut, resume=True,
+                        task_runner=_ok_runner)
+    assert resumed.resumed_count == 1
+    assert resumed.completed_count == 2
+    assert json.dumps(resumed.rows, sort_keys=True) == json.dumps(first.rows, sort_keys=True)
+    state = SweepJournal.load(cut)
+    assert len(state.resumes) == 1 and len(state.completed) == 3
+
+
+def test_run_sweep_refuses_dirty_journal_without_resume(tmp_path):
+    journal = str(tmp_path / "sweep.jsonl")
+    run_sweep(_grid(), workers=1, journal_path=journal, task_runner=_ok_runner)
+    with pytest.raises(SweepError, match="resume"):
+        run_sweep(_grid(), workers=1, journal_path=journal, task_runner=_ok_runner)
+
+
+def test_run_sweep_refuses_resume_for_different_grid(tmp_path):
+    journal = str(tmp_path / "sweep.jsonl")
+    run_sweep(_grid(), workers=1, journal_path=journal, task_runner=_ok_runner)
+    with pytest.raises(SweepError, match="different grid"):
+        run_sweep(_grid(methods=("x", "y")), workers=1, journal_path=journal,
+                  resume=True, task_runner=_ok_runner)
+
+
+def test_run_sweep_merges_worker_telemetry_in_grid_order():
+    telemetry.enable()
+    telemetry.reset()
+    result = run_sweep(_grid(methods=("a", "b")), workers=1, task_runner=_metrics_runner,
+                       capture_telemetry=True)
+    assert result.completed_count == 2
+    registry = telemetry.get_registry()
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["worker.flips"] == 4  # summed across tasks
+    assert snapshot["counters"]["sweep.tasks_ok"] == 2
+    # Gauge merge is last-writer-wins in *grid* order: task "b" has seed 0 too,
+    # but with distinct seeds the final value must be the last grid cell's.
+    assert snapshot["gauges"]["worker.last_seed"] == 0.0
+    # Worker span trees attach under the parent's sweep span.
+    paths = telemetry.get_tracer().stage_durations()
+    assert any(path.endswith("task_stage") for path in paths)
+
+
+# ---------------------------------------------------------------------------
+# Runner orchestration (real process pool).
+def test_run_sweep_pool_matches_inline_with_fake_runner():
+    grid = _grid(methods=("a", "b", "c", "d"))
+    inline = run_sweep(grid, workers=1, task_runner=_ok_runner)
+    pooled = run_sweep(grid, workers=2, task_runner=_ok_runner)
+    assert json.dumps(inline.rows, sort_keys=True) == json.dumps(pooled.rows, sort_keys=True)
+
+
+def test_run_sweep_survives_worker_crash():
+    grid = _grid(methods=("a", "crash", "b"))
+    result = run_sweep(grid, workers=2, task_runner=_crashing_runner,
+                       max_attempts=2, backoff_seconds=0.0)
+    assert [row["method"] for row in result.rows] == ["a", "b"]
+    (failure,) = result.failures
+    assert failure.task.method == "crash"
+    assert failure.attempts == 2
+    assert failure.error["type"] in ("BrokenProcessPool", "OSError")
+
+
+# ---------------------------------------------------------------------------
+# Worker state hygiene.
+def test_reset_worker_state_clears_forked_globals():
+    telemetry.enable()
+    telemetry.counter_add("stale.counter", 5)
+    register_profile(DeviceProfile(name="ZZ", ddr_version=4, flips_per_page=1.0,
+                                   trr_protected=False))
+    try:
+        assert "ZZ" in available_profiles()
+        reset_worker_state()
+        assert not telemetry.enabled()
+        assert telemetry.get_registry().snapshot()["counters"] == {}
+        assert "ZZ" not in available_profiles()
+    finally:
+        reset_profiles()
+
+
+def test_register_profile_rejects_builtin_shadowing():
+    with pytest.raises(Exception):
+        register_profile(DeviceProfile(name="K1", ddr_version=4, flips_per_page=1.0,
+                                       trr_protected=False))
+
+
+# ---------------------------------------------------------------------------
+# End-to-end acceptance: the real micro-scale pipeline through the CLI.
+def test_cli_sweep_is_deterministic_across_worker_counts_and_resumes(tmp_path, monkeypatch):
+    """workers=1 and workers=4 produce byte-identical row files, and a sweep
+    killed mid-journal resumes to the same table."""
+    from repro.cli import main
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    out1, out4 = tmp_path / "rows1.json", tmp_path / "rows4.json"
+    argv = [
+        "sweep", "--methods", "CFT,CFT+BR", "--models", "tinycnn",
+        "--devices", "K1,A1", "--target", "1", "--scale", "micro",
+    ]
+    assert main(argv + ["--workers", "1", "--out", str(out1)]) == 0
+    assert main(argv + ["--workers", "4", "--out", str(out4)]) == 0
+    assert out1.read_bytes() == out4.read_bytes()
+    rows = json.loads(out1.read_text())
+    assert [row["method"] for row in rows] == ["CFT", "CFT+BR"] * 2
+    assert all(row["offline_n_flip"] >= 1 for row in rows)
+
+    # Kill simulation: keep the header, the first result and a torn line.
+    journal = out1.with_name(out1.name + ".journal.jsonl")
+    lines = journal.read_text().splitlines(True)
+    cut = tmp_path / "cut.journal.jsonl"
+    cut.write_text("".join(lines[:2]) + lines[2][: len(lines[2]) // 2])
+    out_resumed = tmp_path / "rows_resumed.json"
+    assert main(argv + ["--workers", "1", "--out", str(out_resumed),
+                        "--journal", str(cut), "--resume"]) == 0
+    assert json.loads(out_resumed.read_text()) == rows
+    state = SweepJournal.load(str(cut))
+    assert len(state.completed) == 4 and len(state.resumes) == 1
+
+
+def test_run_method_comparison_delegates_to_the_runner(tmp_path, monkeypatch):
+    """Table II via the sweep runner: inline and pooled rows are identical,
+    and a permanently failing cell raises SweepError."""
+    from repro.core.experiment import SCALE_PRESETS, run_method_comparison
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    scale = SCALE_PRESETS["micro"]
+    kwargs = dict(dataset="cifar10", methods=("CFT", "CFT+BR"), scale=scale,
+                  target_class=1, device="K1", seed=0)
+    inline = run_method_comparison("tinycnn", **kwargs)
+    pooled = run_method_comparison("tinycnn", workers=2, **kwargs)
+    assert json.dumps(inline, sort_keys=True) == json.dumps(pooled, sort_keys=True)
+    with pytest.raises(SweepError, match="nope"):
+        run_method_comparison("tinycnn", dataset="cifar10", methods=("nope",),
+                              scale=scale, target_class=1, seed=0)
+
+
+def test_execute_task_returns_structured_failure_for_unknown_method():
+    task = SweepTask(method="nope", model="tinycnn", device="K1", seed=0)
+    outcome = execute_task({"task": task.to_json(), "telemetry": False})
+    assert outcome["status"] == "failed"
+    assert outcome["error"]["type"] == "AttackError"
+    assert "nope" in outcome["error"]["message"]
+    # The parent's telemetry state is untouched even though the task ran inline.
+    assert not telemetry.enabled()

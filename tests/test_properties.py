@@ -14,7 +14,13 @@ from hypothesis.extra import numpy as hnp
 from repro.attacks.cft import WEIGHTS_PER_PAGE, group_sort_select
 from repro.memory.frame_cache import PageFrameCache
 from repro.quant import WeightFile
-from repro.quant.bits import flip_bit
+from repro.quant.bits import (
+    bit_reduce,
+    bit_reduce_avoiding,
+    flip_bit,
+    hamming_distance,
+    int8_to_uint8,
+)
 
 
 @settings(max_examples=40, deadline=None)
@@ -44,6 +50,90 @@ def test_property_bit_locations_are_a_faithful_delta(data, seed):
         target_bit = bool(np.uint8(modified[index]) & np.uint8(1 << loc.bit_index))
         assert (loc.direction == 1) == target_bit
     np.testing.assert_array_equal(rebuilt, modified)
+
+
+_INT8_ARRAYS = hnp.arrays(np.int8, st.integers(1, 256), elements=st.integers(-128, 127))
+
+
+@settings(max_examples=60, deadline=None)
+@given(original=_INT8_ARRAYS, seed=st.integers(0, 2**16))
+def test_property_bit_reduce_keeps_msb_of_the_change(original, seed):
+    """For any (original, modified) pair the reduction differs from the
+    original in at most one bit per weight -- exactly one wherever the
+    weight changed at all -- and that bit is the most significant changed
+    bit, so the Hamming distance never grows."""
+    rng = np.random.default_rng(seed)
+    modified = rng.integers(-128, 128, size=original.shape).astype(np.int8)
+    reduced = bit_reduce(original, modified)
+
+    diff_full = int8_to_uint8(original) ^ int8_to_uint8(modified)
+    diff_kept = int8_to_uint8(original) ^ int8_to_uint8(reduced)
+    # At most one bit kept per byte; exactly one iff the weight changed.
+    popcounts = np.unpackbits(diff_kept[..., None], axis=-1).sum(axis=-1)
+    assert np.all(popcounts <= 1)
+    assert np.array_equal(popcounts == 1, diff_full != 0)
+    # The kept bit is the change mask's most significant bit: a subset of
+    # the mask, with nothing of the mask above it.
+    assert np.all(diff_kept & ~diff_full == 0)
+    assert np.all(diff_full < 2 * np.maximum(diff_kept.astype(np.int32), 1))
+    # Never increases N_flip, and reducing again changes nothing.
+    assert hamming_distance(original, reduced) <= hamming_distance(original, modified)
+    np.testing.assert_array_equal(bit_reduce(original, reduced), reduced)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    original=_INT8_ARRAYS,
+    seed=st.integers(0, 2**16),
+    forbidden=st.sets(st.integers(0, 7), max_size=7),
+)
+def test_property_bit_reduce_avoiding_never_touches_forbidden_bits(original, seed, forbidden):
+    """The RADAR-evading variant keeps the invariants of plain reduction
+    while never flipping a forbidden position."""
+    rng = np.random.default_rng(seed)
+    modified = rng.integers(-128, 128, size=original.shape).astype(np.int8)
+    reduced = bit_reduce_avoiding(original, modified, forbidden_bits=tuple(forbidden))
+
+    diff_kept = int8_to_uint8(original) ^ int8_to_uint8(reduced)
+    popcounts = np.unpackbits(diff_kept[..., None], axis=-1).sum(axis=-1)
+    assert np.all(popcounts <= 1)
+    for bit in forbidden:
+        assert not np.any(diff_kept & np.uint8(1 << bit))
+    # A weight whose only changes were forbidden reverts to the original.
+    mask = np.uint8(0xFF)
+    for bit in forbidden:
+        mask &= np.uint8(~np.uint8(1 << bit))
+    allowed_diff = (int8_to_uint8(original) ^ int8_to_uint8(modified)) & mask
+    np.testing.assert_array_equal(reduced[allowed_diff == 0], original[allowed_diff == 0])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    weights_per_page=st.integers(2, 64),
+    n_pages=st.integers(1, 8),
+    n_flip=st.integers(1, 8),
+    seed=st.integers(0, 2**16),
+)
+def test_property_group_sort_select_for_any_page_size(weights_per_page, n_pages, n_flip, seed):
+    """C1/C2 hold for arbitrary page sizes: at most ``n_flip`` selections,
+    never two from the same page, each its page group's argmax."""
+    if n_flip > n_pages:
+        n_flip = n_pages
+    rng = np.random.default_rng(seed)
+    n_w = n_pages * weights_per_page - int(rng.integers(0, weights_per_page // 2 + 1))
+    grads = np.abs(rng.normal(size=n_w))
+    selected = group_sort_select(grads, n_flip, weights_per_page=weights_per_page)
+
+    assert 1 <= len(selected) <= n_flip  # C1: one weight per flip
+    pages = [int(index) // weights_per_page for index in selected]
+    assert len(set(pages)) == len(pages)  # C2: never two flips in one page
+    pages_per_group = max(1, n_w // (weights_per_page * n_flip))
+    span = weights_per_page * pages_per_group
+    for index in selected:
+        group = min(int(index) // span, n_flip - 1)
+        lo = group * span
+        hi = n_w if group == n_flip - 1 else (group + 1) * span
+        assert grads[index] == grads[lo:hi].max()
 
 
 @settings(max_examples=30, deadline=None)

@@ -268,3 +268,65 @@ class TestPipelineIntegration:
         counters = telemetry.dump()["counters"]
         assert counters["hammer.attempts"] == 1
         assert counters["hammer.simulated_seconds"] == pytest.approx(0.4)
+
+
+class TestWorkerShipping:
+    """The primitives sweep workers use to ship telemetry across processes."""
+
+    def test_merge_snapshot_folds_plain_dicts(self):
+        registry = MetricsRegistry()
+        registry.counter("flips").add(1)
+        registry.gauge("loss").set(9.0)
+        registry.merge_snapshot(
+            counters={"flips": 2, "rounds": 1},
+            gauges={"loss": 0.5, "absent": None},
+            histogram_values={"epoch_seconds": [1.0, 2.0]},
+        )
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"flips": 3, "rounds": 1}
+        assert snapshot["gauges"] == {"loss": 0.5}  # last writer wins, None skipped
+        assert registry.histogram_values()["epoch_seconds"] == [1.0, 2.0]
+
+    def test_span_record_dict_round_trip(self):
+        from repro.telemetry.spans import SpanRecord
+
+        record = SpanRecord(name="a", path="a", duration_seconds=1.0,
+                            attributes={"k": 1})
+        record.children.append(SpanRecord(name="b", path="a/b", duration_seconds=0.5))
+        rebuilt = SpanRecord.from_dict(record.to_dict())
+        assert rebuilt.to_dict() == record.to_dict()
+
+    def test_attach_rebases_under_the_open_span(self):
+        from repro.telemetry.spans import SpanRecord
+
+        tracer = SpanTracer()
+        shipped = SpanRecord(name="task", path="stale/prefix/task")
+        shipped.children.append(SpanRecord(name="stage", path="stale/prefix/task/stage"))
+        with tracer.span("sweep"):
+            tracer.attach(shipped)
+        assert shipped.path == "sweep/task"
+        assert shipped.children[0].path == "sweep/task/stage"
+        assert "sweep/task/stage" in tracer.stage_durations()
+        # Without an open span the record becomes a root.
+        orphan = tracer.attach(SpanRecord(name="solo", path="x/solo"))
+        assert orphan.path == "solo" and orphan in tracer.roots
+
+    def test_isolated_swaps_and_restores_the_module_globals(self):
+        telemetry.enable()
+        telemetry.counter_add("outer", 1)
+        outer_registry = telemetry.get_registry()
+        with telemetry.isolated(enable=True) as (registry, tracer):
+            assert telemetry.get_registry() is registry
+            telemetry.counter_add("inner", 5)
+            with telemetry.span("inner_stage"):
+                pass
+            assert registry.snapshot()["counters"] == {"inner": 5}
+        assert telemetry.get_registry() is outer_registry
+        assert telemetry.get_registry().snapshot()["counters"] == {"outer": 1}
+        assert telemetry.get_tracer().find("inner_stage") is None
+
+    def test_isolated_restores_enabled_flag(self):
+        assert not telemetry.enabled()
+        with telemetry.isolated(enable=True):
+            assert telemetry.enabled()
+        assert not telemetry.enabled()
