@@ -38,6 +38,32 @@ from repro.utils.rng import new_rng
 WEIGHTS_PER_PAGE = PAGE_SIZE_BYTES
 
 
+def _flip_event_data(qmodel: QuantizedModel, index: int, old: int, new: int) -> Dict[str, object]:
+    """Flight-recorder payload describing one committed byte change.
+
+    ``bit``/``direction`` describe the most significant changed bit using the
+    same encoding as :class:`~repro.quant.weightfile.BitLocation` (+1 for a
+    0->1 flip), so ``repro report`` can join offline commits with online
+    verification outcomes.
+    """
+    old_raw = int(old) & 0xFF
+    new_raw = int(new) & 0xFF
+    diff = old_raw ^ new_raw
+    bit = diff.bit_length() - 1 if diff else -1
+    layer, _ = qmodel.locate(int(index))
+    return {
+        "index": int(index),
+        "layer": layer,
+        "page": int(index) // WEIGHTS_PER_PAGE,
+        "byte_offset": int(index) % WEIGHTS_PER_PAGE,
+        "old": old_raw,
+        "new": new_raw,
+        "bit": bit,
+        "direction": (1 if (new_raw >> bit) & 1 else -1) if diff else 0,
+        "bits_changed": bin(diff).count("1"),
+    }
+
+
 def group_sort_select(
     grad_magnitudes: np.ndarray, n_flip: int, weights_per_page: int = WEIGHTS_PER_PAGE
 ) -> np.ndarray:
@@ -152,6 +178,14 @@ class CFTAttack:
                 telemetry.counter_add("cft.iterations")
                 telemetry.gauge_set("cft.loss", grads.loss)
                 telemetry.histogram_observe("cft.selected_weights", selected.size)
+            if telemetry.events_enabled():
+                telemetry.event(
+                    "cft.select",
+                    step=step,
+                    loss=float(grads.loss),
+                    selected=[int(i) for i in selected],
+                    pages=[int(i) // WEIGHTS_PER_PAGE for i in selected],
+                )
 
             # Step 3 (Eq. 6): masked update on the selected weights only.
             masked = np.zeros_like(flat_grad)
@@ -173,6 +207,16 @@ class CFTAttack:
 
         n_flip = hamming_distance(original_q, backdoored_q)
         telemetry.counter_add("cft.bits_flipped", n_flip)
+        if telemetry.events_enabled():
+            # The SGD loop commits implicitly through projection; log the
+            # surviving byte changes so the flip table has provenance rows.
+            for index in np.nonzero(backdoored_q != original_q)[0]:
+                telemetry.event(
+                    "cft.flip_committed",
+                    **_flip_event_data(
+                        qmodel, int(index), int(original_q[index]), int(backdoored_q[index])
+                    ),
+                )
         return OfflineAttackResult(
             original_weights=original_q,
             backdoored_weights=backdoored_q,
@@ -239,6 +283,10 @@ class CFTAttack:
                 loss_history.append(grads.loss)
                 if config.trigger_update and grads.trigger_grad is not None:
                     trigger.fgsm_update(-grads.trigger_grad, config.epsilon)
+            if telemetry.events_enabled() and steps > 0:
+                telemetry.event(
+                    "cft.trigger_round", steps=steps, loss=float(loss_history[-1])
+                )
 
         # Candidate flips are scored on a fixed subset (cheap, consistent);
         # the attacker's full set is used for the final pruning decisions.
@@ -296,7 +344,7 @@ class CFTAttack:
         filled_groups: set = set()
         committed_flips: List[tuple] = []  # (index, old_value, new_value)
         current_q = original_q.copy()
-        for _ in range(config.n_flip_budget):
+        for round_index in range(config.n_flip_budget):
             images, labels = batch()
             grads = attack_loss_and_grads(
                 model, images, labels, trigger, config.target_class, config.alpha,
@@ -320,6 +368,14 @@ class CFTAttack:
                 proposals = proposals[:16]
             if telemetry.enabled():
                 telemetry.counter_add("cft.candidates_evaluated", len(proposals))
+            if telemetry.events_enabled():
+                telemetry.event(
+                    "cft.round",
+                    round=round_index,
+                    loss=float(baseline),
+                    asr=eval_asr(),
+                    candidates=len(proposals),
+                )
             best: Optional[tuple] = None
             for index, new_value in proposals:
                 previous = apply_value(index, new_value)
@@ -339,6 +395,14 @@ class CFTAttack:
             current_q[index] = new_value
             filled_groups.add(int(group_of[index]))
             telemetry.counter_add("cft.flips_committed")
+            if telemetry.events_enabled():
+                telemetry.event(
+                    "cft.flip_committed",
+                    round=round_index,
+                    group=int(group_of[index]),
+                    score=float(best[0]),
+                    **_flip_event_data(qmodel, index, int(old_value), int(new_value)),
+                )
             refine_trigger(trigger_steps)
 
         refine_trigger(trigger_steps)
@@ -352,6 +416,11 @@ class CFTAttack:
             if without_flip <= with_flip:
                 committed_flips.remove((index, old_value, new_value))
                 current_q[index] = old_value
+                if telemetry.events_enabled():
+                    telemetry.event(
+                        "cft.flip_pruned",
+                        **_flip_event_data(qmodel, index, int(old_value), int(new_value)),
+                    )
             else:
                 apply_value(index, new_value)
 
@@ -469,6 +538,7 @@ class CFTAttack:
             q = bit_reduce(original_q, qmodel.flat_int8())
 
         changed = np.nonzero(q != original_q)[0]
+        reverted = 0
         if changed.size:
             pages = changed // WEIGHTS_PER_PAGE
             for page in np.unique(pages):
@@ -482,4 +552,14 @@ class CFTAttack:
                 for member in members:
                     if member != keep:
                         q[member] = original_q[member]
+                        reverted += 1
+        if telemetry.events_enabled():
+            kept = np.nonzero(q != original_q)[0]
+            telemetry.event(
+                "cft.bit_reduction",
+                changed=int(changed.size),
+                reverted=reverted,
+                kept=[_flip_event_data(qmodel, int(i), int(original_q[i]), int(q[i]))
+                      for i in kept],
+            )
         qmodel.load_flat_int8(q)

@@ -27,11 +27,14 @@ import numpy as np
 from repro import telemetry
 from repro.attacks.base import OfflineAttackResult
 from repro.errors import AttackError
+from repro.log import get_logger
 from repro.memory.mmap import MappedFile, OSMemoryModel
 from repro.quant.weightfile import PAGE_SIZE_BITS, BitLocation, WeightFile
 from repro.rowhammer.hammer import HammerEngine
 from repro.rowhammer.profiler import FlipProfile
 from repro.rowhammer.templating import PageTemplater, group_targets_by_page
+
+log = get_logger(__name__)
 
 
 @dataclasses.dataclass
@@ -98,10 +101,23 @@ class OnlineInjector:
 
         templater = PageTemplater(self.profile)
         match = templater.match(targets)
+        if telemetry.events_enabled():
+            telemetry.event(
+                "online.plan",
+                required=n_required,
+                pages=len(targets),
+                matched=len(match.matched_pages),
+                unmatched=len(match.unmatched_pages),
+            )
 
         # Paper relaxation for dense baselines: pages that cannot be fully
         # matched retry with only their highest-priority single flip.
         if fallback_single_bit and match.unmatched_pages:
+            log.info(
+                "%d page(s) have no fully-matching frame; retrying each with "
+                "its single highest-priority flip",
+                len(match.unmatched_pages),
+            )
             extra_targets: Dict[int, List[BitLocation]] = {}
             for page in match.unmatched_pages:
                 best = max(
@@ -122,6 +138,15 @@ class OnlineInjector:
             # Only the single chosen flip per fallback page is still planned.
             for page in fallback_match.matched_pages:
                 targets[page] = extra_targets[page]
+            if telemetry.events_enabled():
+                for page, kept in sorted(extra_targets.items()):
+                    telemetry.event(
+                        "online.fallback",
+                        page=int(page),
+                        kept_bit=kept[0].bit_index,
+                        kept_offset=kept[0].byte_offset,
+                        rescued=page in fallback_match.matched_pages,
+                    )
 
         with telemetry.span("online.massage", pages=original.num_pages):
             mapping = self._place_file(file_id, original, match.assignments)
@@ -129,6 +154,17 @@ class OnlineInjector:
             1 for page, frame in match.assignments.items() if mapping.frame_of(page) == frame
         )
         placement_ok = placement_hits == len(match.assignments)
+        if telemetry.events_enabled():
+            for page in sorted(match.assignments):
+                planned_frame = match.assignments[page]
+                actual_frame = mapping.frame_of(page)
+                telemetry.event(
+                    "massage.place",
+                    page=int(page),
+                    planned_frame=int(planned_frame),
+                    actual_frame=int(actual_frame),
+                    hit=actual_frame == planned_frame,
+                )
         if telemetry.enabled():
             telemetry.counter_add("massage.rounds")
             telemetry.gauge_set(
@@ -185,6 +221,12 @@ class OnlineInjector:
 
         # Release in reverse file order: the FILO frame cache then hands
         # file page 0 the last-released frame, page 1 the one before, ...
+        if telemetry.events_enabled():
+            telemetry.event(
+                "massage.release",
+                pages=num_pages,
+                target_frames=sorted(int(f) for f in target_frames),
+            )
         for page in sorted(plan, reverse=True):
             frame = plan[page]
             self.os.munmap_page(self.attacker_buffer, frame_to_virtual[frame])
@@ -231,6 +273,25 @@ class OnlineInjector:
                 planned_keys.add((loc.page, loc.byte_offset, loc.bit_index, loc.direction))
         n_achieved = len(planned_keys & achieved_keys)
 
+        if telemetry.events_enabled():
+            unmatched = set(match.unmatched_pages)
+            assigned = dict(match.assignments)
+            for key in sorted(planned_keys):
+                achieved = key in achieved_keys
+                if achieved:
+                    cause = ""
+                elif key[0] in unmatched:
+                    cause = "unmatched_page"
+                elif key[0] in assigned:
+                    cause = "cell_not_flipped" if placement_ok else "placement_miss"
+                else:
+                    cause = "not_attempted"
+                telemetry.event(
+                    "verify.flip",
+                    page=key[0], byte_offset=key[1], bit=key[2], direction=key[3],
+                    achieved=achieved, cause=cause,
+                )
+
         targeted_pages = set(match.assignments)
         accidental_targeted = sum(
             1
@@ -249,6 +310,16 @@ class OnlineInjector:
             accidental_flips_in_pages=accidental_targeted,
             page_bits=PAGE_SIZE_BITS,
         )
+        if telemetry.events_enabled():
+            telemetry.event(
+                "verify.summary",
+                required=n_required,
+                achieved=n_achieved,
+                accidental_targeted=accidental_targeted,
+                accidental_elsewhere=accidental_elsewhere,
+                r_match=r_match,
+                placement_verified=placement_ok,
+            )
         return OnlineInjectionResult(
             corrupted_weights=corrupted,
             n_flip_required=n_required,

@@ -6,9 +6,15 @@ Usage (after ``pip install -e .``):
     python -m repro.cli attack --model resnet20 --target 2 --flips 4
     python -m repro.cli probability --flips-per-page 34 --pages 32768
     python -m repro.cli devices
-    python -m repro.cli bench --out BENCH_pipeline.json
+    python -m repro.cli bench --out BENCH_pipeline.json --events flight.jsonl --trace trace.json
     python -m repro.cli bench-check benchmarks/BENCH_pipeline.json BENCH_pipeline.json
     python -m repro.cli sweep --models resnet20 --devices K1,A1 --workers 4 --out rows.json
+    python -m repro.cli report flight.jsonl
+    python -m repro.cli report rows.json.journal.jsonl --format json
+
+Global ``--log-level``/``-v`` flags route the package's stdlib logging to
+stderr; recorded-run artifacts (flight records, traces, manifests, reports)
+are byte-deterministic under a fixed seed.
 """
 
 from __future__ import annotations
@@ -42,10 +48,16 @@ def _cmd_probability(args: argparse.Namespace) -> int:
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro import telemetry
     from repro.analysis import evaluate_attack
     from repro.attacks import AttackConfig, CFTAttack
     from repro.core import pretrained_quantized_model
 
+    if args.events:
+        telemetry.enable_events()
+        # Fresh flight record per invocation (repeated main() calls share
+        # the process-wide recorder).
+        telemetry.get_recorder().reset()
     qmodel, _, test_data, attacker_data = pretrained_quantized_model(
         args.model, dataset=args.dataset, width=args.width, epochs=args.epochs, seed=args.seed
     )
@@ -60,6 +72,31 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         qmodel, attacker_data
     )
     evaluation = evaluate_attack(qmodel.module, test_data, result.trigger, args.target)
+    if args.events:
+        from repro.telemetry.manifest import (
+            build_manifest,
+            manifest_path_for,
+            write_manifest,
+        )
+
+        lines = telemetry.dump_events(args.events, meta={"command": "attack"})
+        write_manifest(
+            build_manifest(
+                "attack",
+                config={
+                    "model": args.model,
+                    "dataset": args.dataset,
+                    "target_class": args.target,
+                    "n_flip_budget": args.flips,
+                    "iterations": args.iterations,
+                    "bit_reduction": not args.no_bit_reduction,
+                },
+                seeds=[args.seed],
+                artifacts={"events": args.events},
+            ),
+            manifest_path_for(args.events),
+        )
+        print(f"wrote flight record ({lines} lines) to {args.events}")
     print(f"method: {result.method}")
     print(f"N_flip: {result.n_flip} / {qmodel.total_bits} bits")
     print(f"TA:     {evaluation.test_accuracy:.2%}")
@@ -83,6 +120,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         iterations=args.iterations,
         n_flip_budget=args.flips,
         include_sweep=not args.skip_sweep,
+        events=args.events,
+        trace=args.trace,
+        manifest=not args.no_manifest,
     )
     bench_seconds = report["spans"]["bench"]["total_seconds"]
     counters = report["counters"]
@@ -114,9 +154,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     import dataclasses
     import json
 
+    from repro import telemetry
     from repro.core.experiment import SCALE_PRESETS, ExperimentScale, format_sweep
     from repro.parallel import SweepGrid, run_sweep
 
+    if args.events:
+        telemetry.enable_events()
+        # Fresh flight record per invocation (repeated main() calls share
+        # the process-wide recorder).
+        telemetry.get_recorder().reset()
     scale = SCALE_PRESETS[args.scale] if args.scale else ExperimentScale.from_env()
     grid_kwargs = dict(
         methods=tuple(args.methods.split(",")),
@@ -143,6 +189,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(result.rows, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    if args.events:
+        lines = telemetry.dump_events(
+            args.events, meta={"command": "sweep", "grid_sha": result.grid_sha}
+        )
+        print(f"wrote flight record ({lines} lines) to {args.events}")
+    if not args.no_manifest:
+        from repro.telemetry.manifest import (
+            build_manifest,
+            manifest_path_for,
+            write_manifest,
+        )
+
+        artifacts = {"rows": args.out, "journal": journal}
+        if args.events:
+            artifacts["events"] = args.events
+        write_manifest(
+            build_manifest(
+                "sweep",
+                config={
+                    "methods": args.methods,
+                    "models": args.models,
+                    "devices": args.devices,
+                    "dataset": args.dataset,
+                    "target_class": args.target,
+                    "scale": dataclasses.asdict(scale),
+                    "max_attempts": args.max_attempts,
+                },
+                seeds=sorted({outcome.task.seed for outcome in result.outcomes}),
+                grid_sha=result.grid_sha,
+                artifacts=artifacts,
+            ),
+            manifest_path_for(journal),
+        )
     print(format_sweep(result.rows))
     print(
         f"sweep: {result.completed_count} completed, {result.resumed_count} resumed, "
@@ -156,6 +235,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{error.get('type')}: {error.get('message')}"
         )
     return 1 if result.failures else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.telemetry.report import render_report
+
+    rendered = render_report(args.input, fmt=args.format)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.format} report to {args.out}")
+    else:
+        print(rendered, end="")
+    return 0
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
@@ -179,6 +271,16 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Rowhammer DNN backdoor reproduction (DSN 2023) experiments",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=["critical", "error", "warning", "info", "debug"],
+        default=None,
+        help="stdlib logging level for the repro package (stderr)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="-v: info, -vv: debug (shorthand for --log-level)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("devices", help="list the Table I DRAM device profiles")
@@ -199,6 +301,8 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--seed", type=int, default=0)
     attack.add_argument("--no-bit-reduction", action="store_true")
     attack.add_argument("--save", help="save the offline result to this .npz path")
+    attack.add_argument("--events", help="record the flight-recorder event stream "
+                        "(JSONL) of the offline attack to this path")
 
     bench = sub.add_parser(
         "bench", help="run the telemetry-instrumented end-to-end benchmark"
@@ -211,6 +315,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--flips", type=int, default=2)
     bench.add_argument("--skip-sweep", action="store_true",
                        help="skip the 1-vs-2-worker sweep timing section")
+    bench.add_argument("--events", help="record the run's flight-recorder event "
+                       "stream (JSONL) to this path")
+    bench.add_argument("--trace", help="export spans + events as a Chrome-trace/"
+                       "Perfetto JSON file to this path")
+    bench.add_argument("--no-manifest", action="store_true",
+                       help="skip writing <out>.manifest.json")
 
     check = sub.add_parser(
         "bench-check", help="fail if a bench report regressed against a baseline"
@@ -260,6 +370,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="attempts per task before recording a failure")
     sweep.add_argument("--backoff", type=float, default=0.25,
                        help="base retry backoff in seconds (doubles per attempt)")
+    sweep.add_argument("--events", help="record every task's flight-recorder "
+                       "events, merged in grid order, to this JSONL path")
+    sweep.add_argument("--no-manifest", action="store_true",
+                       help="skip writing <journal>.manifest.json")
+
+    report = sub.add_parser(
+        "report",
+        help="render a forensics report from a flight record or sweep journal",
+    )
+    report.add_argument("input", help="a *.events.jsonl flight record or a "
+                        "sweep *.journal.jsonl")
+    report.add_argument("--format", choices=["markdown", "json"], default="markdown")
+    report.add_argument("--out", help="write the report here instead of stdout")
 
     return parser
 
@@ -267,6 +390,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    from repro.log import configure, verbosity_to_level
+
+    configure(args.log_level or verbosity_to_level(args.verbose))
     handlers = {
         "devices": _cmd_devices,
         "probability": _cmd_probability,
@@ -275,6 +401,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "bench-check": _cmd_bench_check,
         "sweep": _cmd_sweep,
+        "report": _cmd_report,
     }
     return handlers[args.command](args)
 

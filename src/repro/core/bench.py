@@ -85,7 +85,12 @@ def _bench_sweep_durations(
         for workers in workers_list:
             with telemetry.span("bench_sweep.run", workers=workers):
                 start = time.perf_counter()
-                result = run_sweep(grid, workers=workers, capture_telemetry=False)
+                # Both captures off: the timing is the benchmark here, and
+                # the flight record should describe the main attack run, not
+                # the pool-scaling micro sweeps.
+                result = run_sweep(
+                    grid, workers=workers, capture_telemetry=False, capture_events=False
+                )
                 durations[workers] = time.perf_counter() - start
             if result.failures:
                 raise RuntimeError(
@@ -109,9 +114,19 @@ def run_bench(
     n_flip_budget: int = 2,
     target_class: int = 1,
     include_sweep: bool = True,
+    events: Optional[str] = None,
+    trace: Optional[str] = None,
+    manifest: bool = True,
 ) -> Dict[str, object]:
-    """Run the benchmark attack end-to-end and return the telemetry report."""
+    """Run the benchmark attack end-to-end and return the telemetry report.
+
+    ``events`` / ``trace`` optionally write the flight record (JSONL) and the
+    Chrome-trace/Perfetto view of the run; ``manifest`` (default on) writes
+    ``<out>.manifest.json`` identifying what produced the artifacts.
+    """
     telemetry.enable()
+    if events is not None or trace is not None:
+        telemetry.enable_events()
     telemetry.reset()
 
     spec = SyntheticSpec(num_classes=4, image_size=16, prototypes_per_class=2)
@@ -170,4 +185,43 @@ def run_bench(
     report = telemetry.dump(out, meta=meta)
     if jsonl is not None:
         telemetry.dump_jsonl(jsonl)
+    record_meta = {"benchmark": "repro-bench", "seed": seed}
+    if events is not None:
+        telemetry.dump_events(events, meta=record_meta)
+    if trace is not None:
+        from repro.telemetry.trace import write_trace
+
+        write_trace(
+            trace, telemetry.get_tracer(), telemetry.get_recorder(), meta=record_meta
+        )
+    if manifest and out is not None:
+        from repro.telemetry.manifest import (
+            build_manifest,
+            manifest_path_for,
+            write_manifest,
+        )
+
+        artifacts = {"report": out}
+        if jsonl is not None:
+            artifacts["jsonl"] = jsonl
+        if events is not None:
+            artifacts["events"] = events
+        if trace is not None:
+            artifacts["trace"] = trace
+        write_manifest(
+            build_manifest(
+                "bench",
+                config={
+                    "epochs": epochs,
+                    "iterations": iterations,
+                    "n_flip_budget": n_flip_budget,
+                    "target_class": target_class,
+                    "include_sweep": include_sweep,
+                },
+                seeds=[seed],
+                device="K1",
+                artifacts=artifacts,
+            ),
+            manifest_path_for(out),
+        )
     return report

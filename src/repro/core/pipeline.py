@@ -25,6 +25,7 @@ from repro.attacks.base import OfflineAttackResult
 from repro.attacks.online import OnlineInjectionResult, OnlineInjector
 from repro.core.config import PipelineConfig
 from repro.data.dataset import ArrayDataset
+from repro.log import get_logger
 from repro.memory.dram import DRAMArray
 from repro.memory.geometry import DRAMGeometry
 from repro.memory.mmap import MappedFile, OSMemoryModel
@@ -33,6 +34,8 @@ from repro.quant.weightfile import WeightFile
 from repro.rowhammer.device_profiles import get_profile
 from repro.rowhammer.hammer import HammerEngine
 from repro.rowhammer.profiler import FlipProfile, MemoryProfiler
+
+log = get_logger(__name__)
 
 
 @dataclasses.dataclass
@@ -92,6 +95,12 @@ class BackdoorPipeline:
                 self.flip_profile = profiler.profile_mapping(
                     self.attacker_buffer, n_sides=self.config.memory.n_sides_profile
                 )
+            log.info(
+                "profiled %d frames with %d-sided pattern: %d usable flips",
+                self.flip_profile.num_frames,
+                self.config.memory.n_sides_profile,
+                self.flip_profile.num_flips,
+            )
         return self.flip_profile
 
     # ------------------------------------------------------------------
@@ -109,11 +118,33 @@ class BackdoorPipeline:
         profile = self.profile_memory()
 
         with telemetry.span("pipeline.offline_attack", method=getattr(attack, "name", "?")):
+            if telemetry.events_enabled():
+                telemetry.event(
+                    "attack.offline_start",
+                    method=getattr(attack, "name", "?"),
+                    n_flip_budget=getattr(
+                        getattr(attack, "config", None), "n_flip_budget", None
+                    ),
+                    seed=getattr(getattr(attack, "config", None), "seed", None),
+                )
             offline = attack.run(qmodel, attacker_data)
+            if telemetry.events_enabled():
+                telemetry.event(
+                    "attack.offline_complete",
+                    method=offline.method,
+                    n_flip=offline.n_flip,
+                )
         with telemetry.span("pipeline.evaluate", phase="offline"):
             offline_eval = evaluate_attack(
                 qmodel.module, test_data, offline.trigger, target_class
             )
+            if telemetry.events_enabled():
+                telemetry.event(
+                    "pipeline.evaluate",
+                    phase="offline",
+                    ta=offline_eval.test_accuracy,
+                    asr=offline_eval.attack_success_rate,
+                )
 
         injector = OnlineInjector(
             self.os,
@@ -128,11 +159,26 @@ class BackdoorPipeline:
                 offline, file_id=f"{self.config.weight_file_id}.{self._file_counter}"
             )
 
+        log.info(
+            "%s offline: N_flip=%d; online: %d/%d achieved (r_match %.2f%%)",
+            offline.method,
+            offline.n_flip,
+            online.n_flip_achieved,
+            online.n_flip_required,
+            online.r_match,
+        )
         qmodel.load_flat_int8(online.corrupted_weights)
         with telemetry.span("pipeline.evaluate", phase="online"):
             online_eval = evaluate_attack(
                 qmodel.module, test_data, offline.trigger, target_class
             )
+            if telemetry.events_enabled():
+                telemetry.event(
+                    "pipeline.evaluate",
+                    phase="online",
+                    ta=online_eval.test_accuracy,
+                    asr=online_eval.attack_success_rate,
+                )
         if telemetry.enabled():
             telemetry.counter_add("pipeline.runs")
             telemetry.counter_add("online.bits_flipped", online.n_flip_achieved)

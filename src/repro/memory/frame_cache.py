@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional
 
+from repro import telemetry
 from repro.errors import MemoryModelError
 
 
@@ -32,6 +33,8 @@ class PageFrameCache:
             raise MemoryModelError(f"frame {frame} released twice")
         self._stack.append(frame)
         self._members.add(frame)
+        if telemetry.events_enabled():
+            telemetry.event("frame_cache.release", frame=frame, depth=len(self._stack))
 
     def allocate(self) -> int:
         """Pop the most recently freed frame (mmap fault)."""
@@ -39,6 +42,8 @@ class PageFrameCache:
             raise MemoryModelError("page frame cache exhausted")
         frame = self._stack.pop()
         self._members.remove(frame)
+        if telemetry.events_enabled():
+            telemetry.event("frame_cache.allocate", frame=frame, depth=len(self._stack))
         return frame
 
     def peek_allocation_order(self) -> List[int]:

@@ -30,6 +30,10 @@ class PageCache:
         self._entries[key] = frame
         self._dirty[key] = False
         telemetry.counter_add("page_cache.inserts")
+        if telemetry.events_enabled():
+            telemetry.event(
+                "page_cache.insert", file=file_id, page=page_index, frame=frame
+            )
 
     def lookup(self, file_id: str, page_index: int) -> Optional[int]:
         frame = self._entries.get((file_id, page_index))
@@ -45,6 +49,8 @@ class PageCache:
             raise MemoryModelError(f"page {key} is not cached")
         self._dirty.pop(key)
         telemetry.counter_add("page_cache.evictions")
+        if telemetry.events_enabled():
+            telemetry.event("page_cache.evict", file=file_id, page=page_index)
         return self._entries.pop(key)
 
     def evict_file(self, file_id: str) -> None:

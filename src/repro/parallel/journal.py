@@ -20,8 +20,11 @@ from pathlib import Path
 from typing import Dict, IO, List, Optional, Union
 
 from repro.errors import SweepError
+from repro.log import get_logger
 
 JOURNAL_SCHEMA = 1
+
+log = get_logger(__name__)
 
 
 @dataclasses.dataclass
@@ -63,6 +66,7 @@ class SweepJournal:
                     handle.seek(-1, 2)
                     torn = handle.read(1) != b"\n"
             if torn:
+                log.warning("journal %s ends in a torn line; terminating it", self.path)
                 with open(self.path, "a", encoding="utf-8") as handle:
                     handle.write("\n")
         self._handle = open(self.path, "a", encoding="utf-8")
@@ -129,4 +133,10 @@ class SweepJournal:
                     state.resumes.append(event)
                 else:
                     state.malformed_lines += 1
+        if state.malformed_lines:
+            log.warning(
+                "journal %s: skipped %d malformed/torn line(s)",
+                journal_path,
+                state.malformed_lines,
+            )
         return state

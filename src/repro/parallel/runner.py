@@ -28,12 +28,15 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import telemetry
 from repro.errors import SweepError
+from repro.log import get_logger
 from repro.parallel import worker
 from repro.parallel.grid import SweepGrid, SweepTask, ensure_unique, grid_sha_of
 from repro.parallel.journal import SweepJournal
 from repro.telemetry.spans import SpanRecord
 
 TaskRunner = Callable[[Dict[str, object]], Dict[str, object]]
+
+log = get_logger(__name__)
 
 
 @dataclasses.dataclass
@@ -48,6 +51,7 @@ class TaskOutcome:
     error: Optional[Dict[str, object]] = None
     metrics: Optional[Dict[str, object]] = None
     spans: Optional[List[Dict[str, object]]] = None
+    events: Optional[List[Dict[str, object]]] = None
 
 
 @dataclasses.dataclass
@@ -85,6 +89,7 @@ def run_sweep(
     backoff_seconds: float = 0.25,
     mp_context: str = "spawn",
     capture_telemetry: Optional[bool] = None,
+    capture_events: Optional[bool] = None,
     task_runner: TaskRunner = worker.execute_task,
 ) -> SweepResult:
     """Run every grid task, fanned out over ``workers`` processes.
@@ -94,6 +99,10 @@ def run_sweep(
     descriptor.  ``capture_telemetry`` defaults to the parent's
     :func:`repro.telemetry.enabled` state; when on, worker metrics and
     span trees are merged into the parent registry in grid order.
+    ``capture_events`` likewise defaults to
+    :func:`repro.telemetry.events_enabled`; when on, every worker's flight
+    record ships back and is renumbered into the parent recorder in grid
+    order, so the merged stream is identical for any worker count.
     """
     if max_attempts < 1:
         raise SweepError(f"max_attempts must be positive, got {max_attempts}")
@@ -101,8 +110,15 @@ def run_sweep(
     sha = grid_sha_of(tasks)
     if capture_telemetry is None:
         capture_telemetry = telemetry.enabled()
+    if capture_events is None:
+        capture_events = telemetry.events_enabled()
     payloads = [
-        {"task": task.to_json(), "telemetry": capture_telemetry} for task in tasks
+        {
+            "task": task.to_json(),
+            "telemetry": capture_telemetry,
+            "events": capture_events,
+        }
+        for task in tasks
     ]
 
     outcomes: Dict[int, TaskOutcome] = {}
@@ -114,6 +130,10 @@ def run_sweep(
             raise SweepError("resume=True requires a journal_path to resume from")
 
         pending = [index for index in range(len(tasks)) if index not in outcomes]
+        log.info(
+            "sweep %s: %d task(s), %d pending, workers=%d",
+            sha[:12], len(tasks), len(pending), workers,
+        )
 
         def finalize(index: int, attempt: int, outcome_dict: Dict[str, object]) -> None:
             outcome = TaskOutcome(
@@ -125,6 +145,7 @@ def run_sweep(
                 error=outcome_dict.get("error"),
                 metrics=outcome_dict.get("metrics"),
                 spans=outcome_dict.get("spans"),
+                events=outcome_dict.get("events"),
             )
             outcomes[index] = outcome
             if journal is not None:
@@ -267,6 +288,10 @@ def _run_pool(
         if outcome.get("status") == "ok" or attempt >= max_attempts:
             finalize(index, attempt, outcome)
         else:
+            log.info(
+                "task #%d failed on attempt %d/%d; backing off and retrying",
+                index, attempt, max_attempts,
+            )
             _backoff(backoff_seconds, attempt)
             queue.append((index, attempt + 1))
 
@@ -297,6 +322,10 @@ def _run_pool(
                     outcome = _attempt_failure(exc)
                 handle(index, attempt, outcome)
             if pool_broken:
+                log.warning(
+                    "process pool broke; rebuilding and resubmitting %d in-flight task(s)",
+                    len(active),
+                )
                 for index, attempt in active.values():
                     queue.append((index, attempt))
                 active.clear()
@@ -309,6 +338,12 @@ def _run_pool(
 
 def _record_sweep_telemetry(ordered: Sequence[TaskOutcome]) -> None:
     """Merge worker telemetry into the parent, strictly in grid order."""
+    if telemetry.events_enabled():
+        recorder = telemetry.get_recorder()
+        base_path = telemetry.get_tracer().current_path()
+        for outcome in ordered:
+            if outcome.events:
+                recorder.attach(outcome.events, base_path=base_path)
     if not telemetry.enabled():
         return
     registry = telemetry.get_registry()

@@ -8,8 +8,9 @@ crashing task degrades the sweep instead of killing it.
 Process-global mutable state audit (what :func:`reset_worker_state` must
 cover, because ``fork`` workers inherit the parent's modules verbatim):
 
-- :mod:`repro.telemetry`'s module-level registry/tracer/enabled flag --
-  reset and disabled here; each task records into a fresh isolated pair.
+- :mod:`repro.telemetry`'s module-level registry/tracer/recorder and its
+  two enabled flags (metrics and flight-recorder events) -- reset and
+  disabled here; each task records into fresh isolated state.
 - :mod:`repro.rowhammer.device_profiles`' custom-profile registry --
   restored to the built-in Table I set.
 - The model-zoo disk cache (:mod:`repro.core.training`) is shared on
@@ -33,8 +34,10 @@ from repro.rowhammer import device_profiles
 def reset_worker_state() -> None:
     """Reset every known piece of process-global mutable state."""
     telemetry.disable()
+    telemetry.disable_events()
     telemetry.get_tracer().reset(force=True)
     telemetry.get_registry().reset()
+    telemetry.get_recorder().reset()
     device_profiles.reset_profiles()
 
 
@@ -63,11 +66,13 @@ def _run_task(task: SweepTask) -> Dict[str, float]:
 def execute_task(payload: Dict[str, object]) -> Dict[str, object]:
     """Run one task; return a structured outcome dict (never raises).
 
-    ``payload`` is ``{"task": <SweepTask JSON>, "telemetry": bool}``.  With
-    telemetry requested, the task runs inside an isolated registry/tracer
-    (safe both in a worker process and inline in the parent) and the
-    outcome carries the raw metric values plus the serialized span tree for
-    deterministic merging on the parent side.
+    ``payload`` is ``{"task": <SweepTask JSON>, "telemetry": bool,
+    "events": bool}``.  With telemetry requested, the task runs inside an
+    isolated registry/tracer (safe both in a worker process and inline in
+    the parent) and the outcome carries the raw metric values plus the
+    serialized span tree for deterministic merging on the parent side.
+    With events requested, the isolated flight recorder's stream ships back
+    too; the parent renumbers it into its own recorder in grid order.
     """
     start = time.perf_counter()
     task_id: Optional[str] = None
@@ -75,10 +80,18 @@ def execute_task(payload: Dict[str, object]) -> Dict[str, object]:
         task = SweepTask.from_json(dict(payload["task"]))  # type: ignore[arg-type]
         task_id = task.task_id
         capture = bool(payload.get("telemetry", False))
+        capture_events = bool(payload.get("events", False))
         metrics: Optional[Dict[str, object]] = None
         spans = None
-        if capture:
-            with telemetry.isolated(enable=True) as (registry, tracer):
+        events = None
+        # Always isolated (even when muted): an inline task must not leak
+        # its pipeline counters/spans/events into the parent state, which
+        # would make workers=1 telemetry differ from pooled runs.
+        with telemetry.isolated(enable=capture, record_events=capture_events) as (
+            registry,
+            tracer,
+        ):
+            if capture:
                 with telemetry.span("sweep.task", task=task_id):
                     row = _run_task(task)
                 snapshot = registry.snapshot()
@@ -88,12 +101,10 @@ def execute_task(payload: Dict[str, object]) -> Dict[str, object]:
                     "histogram_values": registry.histogram_values(),
                 }
                 spans = [record.to_dict() for record in tracer.roots]
-        else:
-            # Still isolated (and muted): an inline task must not leak its
-            # pipeline counters/spans into the parent registry, which would
-            # make workers=1 telemetry differ from pooled runs.
-            with telemetry.isolated(enable=False):
+            else:
                 row = _run_task(task)
+            if capture_events:
+                events = telemetry.get_recorder().to_dicts()
         return {
             "task_id": task_id,
             "status": "ok",
@@ -101,6 +112,7 @@ def execute_task(payload: Dict[str, object]) -> Dict[str, object]:
             "duration_seconds": time.perf_counter() - start,
             "metrics": metrics,
             "spans": spans,
+            "events": events,
         }
     except BaseException as exc:  # noqa: B036 - workers must not propagate
         if isinstance(exc, (KeyboardInterrupt, SystemExit)):

@@ -99,6 +99,15 @@ class HammerEngine:
             telemetry.counter_add("hammer.flips", len(flips))
             telemetry.counter_add("hammer.simulated_seconds", seconds)
             telemetry.histogram_observe("hammer.flips_per_attempt", len(flips))
+        if telemetry.events_enabled():
+            telemetry.event(
+                "hammer.attempt",
+                bank=bank,
+                row=row,
+                n_sides=n_sides,
+                flips=len(flips),
+                seconds=seconds,
+            )
         return HammerResult(bank=bank, row=row, flips=flips, n_sides=n_sides, seconds=seconds)
 
     def hammer_sweep(

@@ -135,6 +135,14 @@ class MemoryProfiler:
             telemetry.counter_add("profiler.flips_found", len(records))
             if frames:
                 telemetry.gauge_set("profiler.flip_yield_per_page", len(records) / len(frames))
+        if telemetry.events_enabled():
+            telemetry.event(
+                "profiler.summary",
+                frames=len(frames),
+                rows=len(rows),
+                flips=len(records),
+                n_sides=n_sides,
+            )
         return FlipProfile(records=records, profiled_frames=list(frames), n_sides=n_sides)
 
     def _profile_row(

@@ -17,6 +17,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Sequence, Set, Tuple
 
+from repro import telemetry
 from repro.quant.weightfile import BitLocation
 from repro.rowhammer.profiler import FlipProfile
 
@@ -87,6 +88,13 @@ class PageTemplater:
             candidates = [f for f in self.frames_covering(requirements) if f not in used_frames]
             if not candidates:
                 unmatched.append(page)
+                if telemetry.events_enabled():
+                    telemetry.event(
+                        "template.page",
+                        page=int(page),
+                        required=len(requirements),
+                        matched=False,
+                    )
                 continue
             # Prefer the cleanest frame: fewest flips beyond the targets.
             best = min(candidates, key=lambda f: len(self._frame_flips[f]))
@@ -94,6 +102,16 @@ class PageTemplater:
             assignments[page] = best
             matched.append(page)
             accidental[best] = len(self._frame_flips[best]) - len(set(requirements))
+            if telemetry.events_enabled():
+                telemetry.event(
+                    "template.page",
+                    page=int(page),
+                    required=len(requirements),
+                    matched=True,
+                    frame=int(best),
+                    candidates=len(candidates),
+                    accidental=accidental[best],
+                )
         return TemplateMatch(
             assignments=assignments,
             matched_pages=sorted(matched),

@@ -1,4 +1,4 @@
-"""Process-wide telemetry: metrics, nested spans and JSON/JSONL export.
+"""Process-wide telemetry: metrics, nested spans, events and exporters.
 
 The subsystem is **disabled by default** and every instrumentation hook in
 the hot paths is guarded so the disabled cost is one attribute check --
@@ -15,6 +15,14 @@ tier-1 test timings are unaffected.  Enable with :func:`enable` or the
 
 ``repro bench`` (see :mod:`repro.core.bench`) wraps exactly this flow around
 a small end-to-end attack to produce the CI benchmark baseline.
+
+The **flight recorder** (:mod:`repro.telemetry.events`) is a second,
+independently-gated stream of typed provenance events (which weight was
+selected, which bit was kept, which frame a page landed on, which flips the
+hammer achieved).  Enable it with :func:`enable_events` or
+``REPRO_TELEMETRY_EVENTS=1``; export with :func:`dump_events`, render with
+``repro report``, and visualize alongside the span tree via
+:mod:`repro.telemetry.trace` (Chrome trace / Perfetto).
 """
 
 from __future__ import annotations
@@ -23,6 +31,13 @@ import contextlib
 import os
 from typing import ContextManager, Dict, Iterator, Optional, Tuple
 
+from repro.telemetry.events import (
+    FLIGHT_SCHEMA,
+    Event,
+    EventRecorder,
+    read_events_jsonl,
+)
+from repro.telemetry.events import write_events_jsonl as _write_events_jsonl
 from repro.telemetry.export import (
     SCHEMA,
     build_report,
@@ -41,8 +56,11 @@ from repro.telemetry.registry import (
 from repro.telemetry.spans import SpanRecord, SpanTracer
 
 __all__ = [
+    "FLIGHT_SCHEMA",
     "SCHEMA",
     "Counter",
+    "Event",
+    "EventRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -52,15 +70,22 @@ __all__ = [
     "build_report",
     "counter_add",
     "disable",
+    "disable_events",
     "dump",
+    "dump_events",
     "dump_jsonl",
     "enable",
+    "enable_events",
     "enabled",
+    "event",
+    "events_enabled",
     "gauge_set",
+    "get_recorder",
     "get_registry",
     "get_tracer",
     "histogram_observe",
     "isolated",
+    "read_events_jsonl",
     "read_json",
     "read_jsonl",
     "reset",
@@ -69,9 +94,16 @@ __all__ = [
     "write_jsonl",
 ]
 
-_enabled: bool = os.environ.get("REPRO_TELEMETRY", "").lower() in ("1", "true", "yes", "on")
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").lower() in ("1", "true", "yes", "on")
+
+
+_enabled: bool = _env_flag("REPRO_TELEMETRY")
+_events_enabled: bool = _env_flag("REPRO_TELEMETRY_EVENTS")
 _registry = MetricsRegistry()
 _tracer = SpanTracer()
+_recorder = EventRecorder()
 
 
 class _NullSpan:
@@ -105,10 +137,30 @@ def disable() -> None:
     _enabled = False
 
 
+def events_enabled() -> bool:
+    """Whether the flight recorder captures events (its own hot-path guard).
+
+    Independent of :func:`enabled` so the benchmark baseline's counters and
+    timings are untouched unless a run explicitly asks for provenance.
+    """
+    return _events_enabled
+
+
+def enable_events() -> None:
+    global _events_enabled
+    _events_enabled = True
+
+
+def disable_events() -> None:
+    global _events_enabled
+    _events_enabled = False
+
+
 def reset() -> None:
-    """Drop all recorded metrics and spans (the enabled flag is untouched)."""
+    """Drop all recorded metrics, spans and events (flags are untouched)."""
     _registry.reset()
     _tracer.reset()
+    _recorder.reset()
 
 
 def get_registry() -> MetricsRegistry:
@@ -119,25 +171,35 @@ def get_tracer() -> SpanTracer:
     return _tracer
 
 
-@contextlib.contextmanager
-def isolated(enable: Optional[bool] = None) -> Iterator[Tuple[MetricsRegistry, SpanTracer]]:
-    """Swap in a fresh registry/tracer for the duration of the block.
+def get_recorder() -> EventRecorder:
+    return _recorder
 
-    Everything recorded inside is confined to the yielded pair; the previous
-    registry, tracer and enabled flag are restored on exit.  The sweep
-    runner wraps each in-process task in this so per-task metrics can be
-    captured (and later merged) without clobbering the caller's telemetry.
-    ``enable`` optionally overrides the enabled flag inside the block.
+
+@contextlib.contextmanager
+def isolated(
+    enable: Optional[bool] = None, record_events: Optional[bool] = None
+) -> Iterator[Tuple[MetricsRegistry, SpanTracer]]:
+    """Swap in a fresh registry/tracer/recorder for the duration of the block.
+
+    Everything recorded inside is confined to the fresh state; the previous
+    registry, tracer, recorder and both enabled flags are restored on exit.
+    The sweep runner wraps each in-process task in this so per-task metrics
+    and events can be captured (and later merged) without clobbering the
+    caller's telemetry.  ``enable`` / ``record_events`` optionally override
+    the respective flags inside the block.  The fresh recorder is reachable
+    via :func:`get_recorder` inside the block.
     """
-    global _registry, _tracer, _enabled
-    saved = (_registry, _tracer, _enabled)
-    _registry, _tracer = MetricsRegistry(), SpanTracer()
+    global _registry, _tracer, _recorder, _enabled, _events_enabled
+    saved = (_registry, _tracer, _recorder, _enabled, _events_enabled)
+    _registry, _tracer, _recorder = MetricsRegistry(), SpanTracer(), EventRecorder()
     if enable is not None:
         _enabled = enable
+    if record_events is not None:
+        _events_enabled = record_events
     try:
         yield _registry, _tracer
     finally:
-        _registry, _tracer, _enabled = saved
+        _registry, _tracer, _recorder, _enabled, _events_enabled = saved
 
 
 # -- recording (all no-ops while disabled) --------------------------------
@@ -163,12 +225,24 @@ def histogram_observe(name: str, value: float) -> None:
         _registry.histogram(name).observe(value)
 
 
+def event(kind: str, **data: object) -> None:
+    """Record one flight-recorder event (no-op unless events are enabled).
+
+    The event inherits the innermost open span's path, so the stream can be
+    correlated with the span tree (and anchored inside it by the trace
+    exporter).  Callers with non-trivial payload construction should guard
+    with :func:`events_enabled` first, same as the metric hooks.
+    """
+    if _events_enabled:
+        _recorder.record(kind, span=_tracer.current_path(), **data)
+
+
 # -- export ---------------------------------------------------------------
 def dump(
     path: Optional[str] = None, meta: Optional[Dict[str, object]] = None
 ) -> Dict[str, object]:
     """Build the aggregated report; write it as JSON when ``path`` is given."""
-    report = build_report(_registry, _tracer, meta=meta)
+    report = build_report(_registry, _tracer, meta=meta, recorder=_recorder)
     if path is not None:
         write_json(report, path)
     return report
@@ -177,3 +251,8 @@ def dump(
 def dump_jsonl(path: str) -> int:
     """Write the full-fidelity line-per-event export; returns lines written."""
     return write_jsonl(_registry, _tracer, path)
+
+
+def dump_events(path: str, meta: Optional[Dict[str, object]] = None) -> int:
+    """Write the flight record as JSONL; returns lines written."""
+    return _write_events_jsonl(_recorder, path, meta=meta)

@@ -1,0 +1,161 @@
+"""The attack flight recorder: a typed, ordered event stream per run.
+
+Counters and histograms (PR 1) answer "how many"; the flight recorder
+answers "which, in what order, and why".  Every provenance fact the paper's
+end-to-end claim rests on becomes one :class:`Event`: which weight
+``Group_Sort_Select`` picked, which single bit survived Bit Reduction,
+which physical frame a page was massaged onto, whether the hammer flipped
+the cell, and what post-attack verification observed.
+
+Determinism contract: an event carries a monotone sequence number, its
+kind, the dotted span path that was open when it fired, and a JSON-able
+``data`` dict -- and **no wall-clock timestamps** -- so a fixed seed yields
+a byte-identical event stream regardless of host, load or worker count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.telemetry.registry import TelemetryError
+
+FLIGHT_SCHEMA = "repro-flight/1"
+
+PathLike = Union[str, Path]
+
+
+@dataclasses.dataclass
+class Event:
+    """One recorded provenance fact.
+
+    Attributes
+    ----------
+    seq:
+        Monotone per-recorder sequence number (0-based); merged worker
+        events are renumbered by the parent recorder in grid order.
+    kind:
+        Dotted event type, e.g. ``"cft.flip_committed"`` or
+        ``"hammer.attempt"``.
+    span:
+        Dotted path of the innermost open span when the event fired
+        (empty string when none was open).
+    data:
+        JSON-able payload; keys are event-kind specific.
+    """
+
+    seq: int
+    kind: str
+    span: str = ""
+    data: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"seq": self.seq, "kind": self.kind, "span": self.span,
+                "data": dict(self.data)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Event":
+        return cls(
+            seq=int(payload["seq"]),
+            kind=str(payload["kind"]),
+            span=str(payload.get("span", "")),
+            data=dict(payload.get("data", {})),
+        )
+
+
+class EventRecorder:
+    """Append-only, ordered event buffer (the flight recorder proper)."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def record(self, kind: str, span: str = "", **data: object) -> Event:
+        """Append one event; assigns the next sequence number."""
+        event = Event(seq=self._seq, kind=kind, span=span, data=data)
+        self._seq += 1
+        self.events.append(event)
+        return event
+
+    def attach(self, payloads: Iterable[Dict[str, object]],
+               base_path: str = "") -> List[Event]:
+        """Graft shipped event dicts (e.g. from a sweep worker) in order.
+
+        Each payload is renumbered into this recorder's sequence and its
+        span path is rebased under ``base_path`` (the parent's open span),
+        mirroring :meth:`repro.telemetry.spans.SpanTracer.attach`.
+        """
+        attached: List[Event] = []
+        for payload in payloads:
+            shipped = Event.from_dict(payload)
+            span = shipped.span
+            if base_path:
+                span = f"{base_path}/{span}" if span else base_path
+            attached.append(self.record(shipped.kind, span=span, **shipped.data))
+        return attached
+
+    def reset(self) -> None:
+        self.events.clear()
+        self._seq = 0
+
+    # -- views -----------------------------------------------------------
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """Picklable/JSON-able form (how sweep workers ship events home)."""
+        return [event.to_dict() for event in self.events]
+
+    def by_kind(self) -> Dict[str, List[Event]]:
+        out: Dict[str, List[Event]] = {}
+        for event in self.events:
+            out.setdefault(event.kind, []).append(event)
+        return out
+
+    def kind_counts(self) -> Dict[str, int]:
+        """Events per kind, sorted (the report's informational section)."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return {kind: counts[kind] for kind in sorted(counts)}
+
+
+# ---------------------------------------------------------------------------
+# Flight-record JSONL (one schema line, then one line per event)
+# ---------------------------------------------------------------------------
+def write_events_jsonl(
+    recorder: EventRecorder, path: PathLike, meta: Optional[Dict[str, object]] = None
+) -> int:
+    """Write the flight record; returns the number of lines written.
+
+    The stream is byte-deterministic for a fixed seed: sorted keys, no
+    timestamps, events in sequence order.
+    """
+    lines = [json.dumps({"kind": "schema", "value": FLIGHT_SCHEMA,
+                         "meta": dict(meta or {})}, sort_keys=True)]
+    for event in recorder.events:
+        lines.append(json.dumps(event.to_dict(), sort_keys=True))
+    Path(path).write_text("\n".join(lines) + "\n")
+    return len(lines)
+
+
+def read_events_jsonl(path: PathLike) -> List[Event]:
+    """Rebuild the event list from a flight-record JSONL file."""
+    events: List[Event] = []
+    saw_schema = False
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        payload = json.loads(line)
+        if not saw_schema:
+            if payload.get("kind") != "schema" or payload.get("value") != FLIGHT_SCHEMA:
+                raise TelemetryError(
+                    f"{path}:{lineno}: expected flight schema {FLIGHT_SCHEMA!r}, "
+                    f"got {payload.get('value') or payload.get('kind')!r}"
+                )
+            saw_schema = True
+            continue
+        events.append(Event.from_dict(payload))
+    return events

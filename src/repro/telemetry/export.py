@@ -16,6 +16,7 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.telemetry.events import EventRecorder
 from repro.telemetry.registry import MetricsRegistry, TelemetryError
 from repro.telemetry.spans import SpanRecord, SpanTracer
 
@@ -28,8 +29,13 @@ def build_report(
     registry: MetricsRegistry,
     tracer: SpanTracer,
     meta: Optional[Dict[str, object]] = None,
+    recorder: Optional[EventRecorder] = None,
 ) -> Dict[str, object]:
-    """The aggregated benchmark report (the ``BENCH_pipeline.json`` shape)."""
+    """The aggregated benchmark report (the ``BENCH_pipeline.json`` shape).
+
+    ``events`` holds per-kind flight-recorder counts (empty unless the run
+    enabled event recording); ``bench-check`` diffs them informationally.
+    """
     snapshot = registry.snapshot()
     return {
         "schema": SCHEMA,
@@ -38,6 +44,7 @@ def build_report(
         "counters": snapshot["counters"],
         "gauges": snapshot["gauges"],
         "histograms": snapshot["histograms"],
+        "events": recorder.kind_counts() if recorder is not None else {},
     }
 
 

@@ -14,6 +14,11 @@ are gated:
 A missing baseline metric in the candidate always fails (a stage silently
 disappearing is the regression the gate exists to catch); *new* candidate
 metrics are allowed so instrumentation can grow without re-baselining.
+
+Two further families are diffed **informationally** (``gated=False``, never
+failing the build): histogram observation counts/sums and flight-recorder
+event counts per kind.  They surface behavior drift in the gate's output
+without forcing a re-baseline each time instrumentation evolves.
 """
 
 from __future__ import annotations
@@ -27,19 +32,20 @@ DEFAULT_MIN_SECONDS = 0.05  # ignore sub-noise-floor spans
 
 @dataclasses.dataclass
 class Deviation:
-    """One gated metric's baseline/candidate comparison."""
+    """One metric's baseline/candidate comparison."""
 
-    kind: str  # "counter" | "span"
+    kind: str  # "counter" | "span" | "histogram" | "event"
     name: str
     baseline: float
     candidate: float
     relative: float  # |candidate - baseline| / baseline
     failed: bool
+    gated: bool = True  # informational families never fail the build
 
     def format(self) -> str:
-        status = "FAIL" if self.failed else "ok"
+        status = "FAIL" if self.failed else ("ok" if self.gated else "info")
         return (
-            f"[{status:>4}] {self.kind:<7} {self.name:<40} "
+            f"[{status:>4}] {self.kind:<9} {self.name:<40} "
             f"baseline={self.baseline:<12.6g} candidate={self.candidate:<12.6g} "
             f"dev={100.0 * self.relative:.1f}%"
         )
@@ -105,15 +111,45 @@ def compare_reports(
                 failed=relative > time_tolerance,
             )
         )
+
+    def informational(kind: str, base_map: Dict[str, float], cand_map: Dict[str, float]) -> None:
+        for name in sorted(set(base_map) | set(cand_map)):
+            base = float(base_map.get(name, 0.0))
+            cand = float(cand_map.get(name, 0.0))
+            if base == cand:
+                continue
+            deviations.append(
+                Deviation(
+                    kind=kind, name=name, baseline=base, candidate=cand,
+                    relative=_relative(base, cand), failed=False, gated=False,
+                )
+            )
+
+    def histogram_stats(report: Dict[str, object]) -> Dict[str, float]:
+        stats: Dict[str, float] = {}
+        for name, summary in (report.get("histograms") or {}).items():
+            stats[f"{name}.count"] = float(summary.get("count", 0.0))
+            stats[f"{name}.sum"] = float(summary.get("sum", 0.0))
+        return stats
+
+    informational("histogram", histogram_stats(baseline), histogram_stats(candidate))
+    informational(
+        "event",
+        {k: float(v) for k, v in (baseline.get("events") or {}).items()},
+        {k: float(v) for k, v in (candidate.get("events") or {}).items()},
+    )
     return deviations
 
 
 def format_comparison(deviations: List[Deviation]) -> str:
-    """Human-readable gate output, failures first."""
+    """Human-readable gate output: failures, then passes, then drift info."""
     failed = [d for d in deviations if d.failed]
-    passed = [d for d in deviations if not d.failed]
-    lines = [d.format() for d in failed + passed]
+    passed = [d for d in deviations if not d.failed and d.gated]
+    info = [d for d in deviations if not d.gated]
+    lines = [d.format() for d in failed + passed + info]
+    gated = len(failed) + len(passed)
     lines.append(
-        f"bench-regression: {len(failed)} failed / {len(deviations)} gated metrics"
+        f"bench-regression: {len(failed)} failed / {gated} gated metrics"
+        + (f" ({len(info)} informational drift line(s))" if info else "")
     )
     return "\n".join(lines)

@@ -1,0 +1,400 @@
+"""``repro report``: render a forensics report from recorded artifacts.
+
+Two input shapes are understood, auto-detected from the first line:
+
+- a **flight record** (``*.events.jsonl``, written by
+  :func:`repro.telemetry.dump_events`): the full per-bit provenance of one
+  attack run -- flip table, CFT(+BR) convergence, massaging timeline,
+  hammering outcomes and failure causes;
+- a **sweep journal** (``*.journal.jsonl``, written by
+  :class:`repro.parallel.journal.SweepJournal`): per-task status, attempts
+  and structured failure causes for a whole grid.
+
+Rendering is a pure function of the input file -- no clocks, no host
+information -- so repeated invocations are byte-identical, and a fixed-seed
+re-run that regenerates the inputs regenerates the same report.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.telemetry.events import FLIGHT_SCHEMA, Event, read_events_jsonl
+from repro.telemetry.registry import TelemetryError
+
+PathLike = Union[str, Path]
+
+REPORT_FORMATS = ("markdown", "json")
+
+_CAUSE_LABELS = {
+    "unmatched_page": "no compatible flippy frame (templating)",
+    "placement_miss": "page landed on the wrong frame (massaging)",
+    "cell_not_flipped": "cell did not flip under hammering",
+    "not_attempted": "abandoned by the single-flip relaxation",
+}
+
+
+def detect_input_kind(path: PathLike) -> str:
+    """``"flight"`` or ``"journal"``, from the file's first JSON line."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                first = json.loads(line)
+            except json.JSONDecodeError:
+                break
+            kind = first.get("kind")
+            if kind == "schema" and first.get("value") == FLIGHT_SCHEMA:
+                return "flight"
+            if kind in ("header", "result", "resume"):
+                return "journal"
+            break
+    raise TelemetryError(
+        f"{path}: neither a flight record ({FLIGHT_SCHEMA}) nor a sweep journal"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Flight-record analysis
+# ---------------------------------------------------------------------------
+def _first(events: Sequence[Event], kind: str) -> Optional[Event]:
+    for event in events:
+        if event.kind == kind:
+            return event
+    return None
+
+
+def _all(events: Sequence[Event], kind: str) -> List[Event]:
+    return [event for event in events if event.kind == kind]
+
+
+def analyze_flight(events: Sequence[Event]) -> Dict[str, object]:
+    """Structured forensics (the JSON report body) from one event stream."""
+    start = _first(events, "attack.offline_start")
+    offline = _first(events, "attack.offline_complete")
+    verify_summary = _first(events, "verify.summary")
+
+    committed = _all(events, "cft.flip_committed")
+    pruned_keys = {
+        (e.data.get("page"), e.data.get("byte_offset"))
+        for e in _all(events, "cft.flip_pruned")
+    }
+    verifications = {
+        (e.data.get("page"), e.data.get("byte_offset"), e.data.get("bit"),
+         e.data.get("direction")): e.data
+        for e in _all(events, "verify.flip")
+    }
+
+    flips: List[Dict[str, object]] = []
+    for event in committed:
+        data = dict(event.data)
+        key = (data.get("page"), data.get("byte_offset"))
+        data["pruned"] = key in pruned_keys
+        verdict = verifications.get(
+            (data.get("page"), data.get("byte_offset"), data.get("bit"),
+             data.get("direction"))
+        )
+        if data["pruned"]:
+            data["online"] = "pruned offline"
+        elif verdict is None:
+            data["online"] = "no verification recorded"
+        elif verdict.get("achieved"):
+            data["online"] = "achieved"
+        else:
+            cause = str(verdict.get("cause", ""))
+            data["online"] = _CAUSE_LABELS.get(cause, cause or "missed")
+        flips.append(data)
+    # Planned flips the offline stream did not log a commit for (baseline
+    # attacks record no cft.* events) still show up via their verification.
+    seen = {(f.get("page"), f.get("byte_offset"), f.get("bit"), f.get("direction"))
+            for f in flips}
+    for key, verdict in verifications.items():
+        if key in seen:
+            continue
+        cause = str(verdict.get("cause", ""))
+        flips.append(
+            {
+                "page": key[0], "byte_offset": key[1], "bit": key[2],
+                "direction": key[3], "pruned": False,
+                "online": "achieved" if verdict.get("achieved")
+                else _CAUSE_LABELS.get(cause, cause or "missed"),
+            }
+        )
+    flips.sort(key=lambda f: (f.get("page") or 0, f.get("byte_offset") or 0,
+                              f.get("bit") or 0))
+
+    rounds = [
+        {
+            "round": e.data.get("round"),
+            "loss": e.data.get("loss"),
+            "asr": e.data.get("asr"),
+            "candidates": e.data.get("candidates"),
+        }
+        for e in _all(events, "cft.round")
+    ]
+
+    timeline = [
+        {"seq": e.seq, "kind": e.kind, **e.data}
+        for e in events
+        if e.kind in ("template.page", "online.plan", "online.fallback",
+                      "massage.release", "massage.place",
+                      "page_cache.insert", "page_cache.evict")
+    ]
+    placements = _all(events, "massage.place")
+    placement_hits = sum(1 for e in placements if e.data.get("hit"))
+
+    online_hammer = [
+        e.data for e in _all(events, "hammer.attempt")
+        if "online" in e.span
+    ]
+    profiling_attempts = sum(
+        1 for e in _all(events, "hammer.attempt") if "online" not in e.span
+    )
+
+    failures = [f for f in flips
+                if f["online"] not in ("achieved", "pruned offline")]
+
+    evaluations = {
+        str(e.data.get("phase")): e.data for e in _all(events, "pipeline.evaluate")
+    }
+
+    return {
+        "run": {
+            "method": (offline or start or Event(0, "")).data.get("method"),
+            "seed": (start or Event(0, "")).data.get("seed"),
+            "offline_n_flip": (offline or Event(0, "")).data.get("n_flip"),
+            "verify": dict(verify_summary.data) if verify_summary else None,
+            "evaluations": evaluations,
+        },
+        "flips": flips,
+        "rounds": rounds,
+        "massaging": {
+            "timeline": timeline,
+            "placements": len(placements),
+            "placement_hits": placement_hits,
+        },
+        "hammering": {
+            "online_attempts": online_hammer,
+            "profiling_attempts": profiling_attempts,
+        },
+        "failures": failures,
+        "event_kinds": _kind_counts(events),
+    }
+
+
+def _kind_counts(events: Sequence[Event]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    return {kind: counts[kind] for kind in sorted(counts)}
+
+
+def _fmt(value: object, spec: str = "") -> str:
+    if value is None:
+        return "-"
+    if spec and isinstance(value, (int, float)):
+        return format(value, spec)
+    return str(value)
+
+
+def _table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> List[str]:
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return lines
+
+
+def render_flight_markdown(analysis: Dict[str, object]) -> str:
+    """The human-facing forensics report for one recorded attack run."""
+    run = analysis["run"]
+    lines: List[str] = ["# Attack flight report", ""]
+    lines.append(f"- method: **{_fmt(run.get('method'))}**")
+    lines.append(f"- seed: {_fmt(run.get('seed'))}")
+    lines.append(f"- offline N_flip: {_fmt(run.get('offline_n_flip'))}")
+    verify = run.get("verify")
+    if verify:
+        lines.append(
+            f"- online: {_fmt(verify.get('achieved'))} / "
+            f"{_fmt(verify.get('required'))} planned flips achieved, "
+            f"r_match {_fmt(verify.get('r_match'), '.2f')} %, "
+            f"{_fmt(verify.get('accidental_targeted'))} accidental flips in "
+            f"targeted pages, {_fmt(verify.get('accidental_elsewhere'))} elsewhere"
+        )
+    for phase in sorted(run.get("evaluations", {})):
+        data = run["evaluations"][phase]
+        lines.append(
+            f"- {phase} evaluation: TA {_fmt(data.get('ta'), '.4f')}, "
+            f"ASR {_fmt(data.get('asr'), '.4f')}"
+        )
+
+    flips = analysis["flips"]
+    lines += ["", "## Flip provenance", ""]
+    if flips:
+        rows = [
+            [
+                _fmt(f.get("page")), _fmt(f.get("byte_offset")),
+                _fmt(f.get("bit")),
+                {1: "0->1", -1: "1->0"}.get(f.get("direction"), "-"),
+                f"{_fmt(f.get('old'))} -> {_fmt(f.get('new'))}"
+                if "old" in f else "-",
+                _fmt(f.get("layer")), f.get("online", "-"),
+            ]
+            for f in flips
+        ]
+        lines += _table(
+            ["page", "offset", "bit", "dir", "byte", "layer", "online outcome"], rows
+        )
+    else:
+        lines.append("(no weight flips recorded)")
+
+    rounds = analysis["rounds"]
+    lines += ["", "## CFT(+BR) convergence", ""]
+    if rounds:
+        rows = [
+            [_fmt(r.get("round")), _fmt(r.get("loss"), ".6f"),
+             _fmt(r.get("asr"), ".4f"), _fmt(r.get("candidates"))]
+            for r in rounds
+        ]
+        lines += _table(["round", "loss", "ASR", "candidates"], rows)
+    else:
+        lines.append("(no per-round convergence events recorded)")
+
+    massaging = analysis["massaging"]
+    lines += ["", "## Massaging timeline", ""]
+    if massaging["timeline"]:
+        lines.append(
+            f"{massaging['placement_hits']} / {massaging['placements']} "
+            "target pages landed on their planned frame."
+        )
+        lines.append("")
+        for step in massaging["timeline"]:
+            detail = ", ".join(
+                f"{k}={v}" for k, v in step.items() if k not in ("seq", "kind")
+            )
+            lines.append(f"- `{step['seq']:>5}` {step['kind']}: {detail}")
+    else:
+        lines.append("(no massaging events recorded)")
+
+    hammering = analysis["hammering"]
+    lines += ["", "## Hammering", ""]
+    lines.append(
+        f"{hammering['profiling_attempts']} profiling hammer attempts preceded "
+        "the online phase."
+    )
+    if hammering["online_attempts"]:
+        lines.append("")
+        rows = [
+            [_fmt(a.get("bank")), _fmt(a.get("row")), _fmt(a.get("n_sides")),
+             _fmt(a.get("flips")), _fmt(a.get("seconds"), ".3f")]
+            for a in hammering["online_attempts"]
+        ]
+        lines += _table(["bank", "row", "sides", "flips", "sim s"], rows)
+
+    failures = analysis["failures"]
+    lines += ["", "## Failure causes", ""]
+    if failures:
+        for f in failures:
+            lines.append(
+                f"- page {_fmt(f.get('page'))} offset {_fmt(f.get('byte_offset'))} "
+                f"bit {_fmt(f.get('bit'))}: {f.get('online')}"
+            )
+    else:
+        lines.append("No planned flip failed.")
+
+    lines += ["", "## Event stream", ""]
+    for kind, count in analysis["event_kinds"].items():
+        lines.append(f"- {kind}: {count}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Sweep-journal analysis
+# ---------------------------------------------------------------------------
+def analyze_journal(path: PathLike) -> Dict[str, object]:
+    from repro.parallel.journal import SweepJournal
+
+    state = SweepJournal.load(path)
+    tasks = [
+        {
+            "task_id": task_id,
+            "status": record.get("status"),
+            "attempts": record.get("attempts"),
+            "error": record.get("error"),
+        }
+        for task_id, record in sorted(state.records.items())
+    ]
+    by_status: Dict[str, int] = {}
+    for task in tasks:
+        status = str(task["status"])
+        by_status[status] = by_status.get(status, 0) + 1
+    return {
+        "header": state.header,
+        "tasks": tasks,
+        "by_status": {status: by_status[status] for status in sorted(by_status)},
+        "resumes": len(state.resumes),
+        "malformed_lines": state.malformed_lines,
+    }
+
+
+def render_journal_markdown(analysis: Dict[str, object]) -> str:
+    header = analysis.get("header") or {}
+    lines: List[str] = ["# Sweep journal report", ""]
+    lines.append(f"- grid sha: `{_fmt(header.get('grid_sha'))}`")
+    lines.append(f"- total tasks: {_fmt(header.get('total_tasks'))}")
+    lines.append(f"- recorded results: {len(analysis['tasks'])}")
+    for status, count in analysis["by_status"].items():
+        lines.append(f"- {status}: {count}")
+    lines.append(f"- resumes: {analysis['resumes']}")
+    if analysis["malformed_lines"]:
+        lines.append(f"- malformed/torn lines skipped: {analysis['malformed_lines']}")
+
+    lines += ["", "## Tasks", ""]
+    rows = [
+        [task["task_id"], _fmt(task["status"]), _fmt(task["attempts"])]
+        for task in analysis["tasks"]
+    ]
+    if rows:
+        lines += _table(["task", "status", "attempts"], rows)
+    else:
+        lines.append("(journal holds no results)")
+
+    failures = [t for t in analysis["tasks"] if t["status"] == "failed"]
+    lines += ["", "## Failure causes", ""]
+    if failures:
+        for task in failures:
+            error = task.get("error") or {}
+            lines.append(
+                f"- `{task['task_id']}` after {_fmt(task['attempts'])} attempt(s): "
+                f"{_fmt(error.get('type'))}: {_fmt(error.get('message'))}"
+            )
+    else:
+        lines.append("No task failed.")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+def render_report(path: PathLike, fmt: str = "markdown") -> str:
+    """Render the forensics report for a flight record or sweep journal."""
+    if fmt not in REPORT_FORMATS:
+        raise TelemetryError(f"format must be one of {REPORT_FORMATS}, got {fmt!r}")
+    kind = detect_input_kind(path)
+    if kind == "flight":
+        analysis = analyze_flight(read_events_jsonl(path))
+        source: Tuple[str, Dict[str, object]] = ("flight", analysis)
+    else:
+        analysis = analyze_journal(path)
+        source = ("journal", analysis)
+    if fmt == "json":
+        return json.dumps(
+            {"source": source[0], "report": source[1]}, indent=2, sort_keys=True
+        ) + "\n"
+    if kind == "flight":
+        return render_flight_markdown(analysis)
+    return render_journal_markdown(analysis)

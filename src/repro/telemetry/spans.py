@@ -97,6 +97,10 @@ class SpanTracer:
         (parent.children if parent else self.roots).append(record)
         return record
 
+    def current_path(self) -> str:
+        """Dotted path of the innermost open span ("" when none is open)."""
+        return self._stack[-1].path if self._stack else ""
+
     # -- views -----------------------------------------------------------
     def reset(self, force: bool = False) -> None:
         """Drop all records.  Resetting inside an open span is an error

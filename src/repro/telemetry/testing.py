@@ -17,9 +17,13 @@ from repro import telemetry
 def telemetry_guard() -> Iterator[None]:
     """Generator fixture body: disabled + empty before and after each test."""
     telemetry.disable()
+    telemetry.disable_events()
     telemetry.get_tracer().reset(force=True)
     telemetry.get_registry().reset()
+    telemetry.get_recorder().reset()
     yield
     telemetry.disable()
+    telemetry.disable_events()
     telemetry.get_tracer().reset(force=True)
     telemetry.get_registry().reset()
+    telemetry.get_recorder().reset()

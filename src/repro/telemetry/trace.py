@@ -1,0 +1,172 @@
+"""Chrome-trace / Perfetto exporter for spans and flight-recorder events.
+
+Produces the `Trace Event Format`_ JSON object form -- ``{"traceEvents":
+[...]}`` -- which both ``chrome://tracing`` and https://ui.perfetto.dev load
+directly.  Span records become complete events (``"ph": "X"``); recorder
+events become thread-scoped instant events (``"ph": "i"``) anchored inside
+the span that was open when they fired.
+
+:class:`~repro.telemetry.spans.SpanRecord` stores only durations, not start
+times, so the exporter reconstructs a synthetic timeline: root spans are
+laid out back-to-back and children are packed sequentially from their
+parent's start.  Relative durations and nesting -- the facts the tracer
+actually measured -- are faithful; absolute wall-clock positions are not
+claimed.
+
+.. _Trace Event Format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.telemetry.events import EventRecorder
+from repro.telemetry.spans import SpanRecord, SpanTracer
+
+PathLike = Union[str, Path]
+
+_PID = 1
+_TID = 1
+# Synthetic floor for zero-duration spans so nesting stays visible (µs).
+_MIN_SPAN_US = 1.0
+
+
+def _layout_spans(
+    roots: List[SpanRecord],
+) -> Tuple[List[Dict[str, object]], Dict[str, List[Tuple[float, float]]]]:
+    """Assign start offsets; returns (trace events, span path -> intervals)."""
+    events: List[Dict[str, object]] = []
+    intervals: Dict[str, List[Tuple[float, float]]] = {}
+
+    def emit(record: SpanRecord, start_us: float) -> float:
+        duration_us = max(record.duration_seconds * 1e6, _MIN_SPAN_US)
+        # A parent's measured time can be shorter than the sum of its
+        # children's (clock granularity); widen it so the nest stays valid.
+        child_cursor = start_us
+        child_events_at = len(events)
+        events.append({})  # placeholder, patched below for correct ordering
+        for child in record.children:
+            child_cursor = emit(child, child_cursor)
+        duration_us = max(duration_us, child_cursor - start_us)
+        events[child_events_at] = {
+            "name": record.name,
+            "cat": "span",
+            "ph": "X",
+            "ts": start_us,
+            "dur": duration_us,
+            "pid": _PID,
+            "tid": _TID,
+            "args": {"path": record.path, **record.attributes},
+        }
+        intervals.setdefault(record.path, []).append((start_us, duration_us))
+        return start_us + duration_us
+
+    cursor = 0.0
+    for root in roots:
+        cursor = emit(root, cursor)
+    return events, intervals
+
+
+def _layout_events(
+    recorder: EventRecorder,
+    intervals: Dict[str, List[Tuple[float, float]]],
+    timeline_end: float,
+) -> List[Dict[str, object]]:
+    """Place instant events inside their spans, ordered by sequence number.
+
+    Events sharing a span path are spread evenly across that path's first
+    interval so Perfetto renders them in stream order; events recorded with
+    no open span trail the whole timeline.
+    """
+    by_span: Dict[str, List[int]] = {}
+    for index, event in enumerate(recorder.events):
+        by_span.setdefault(event.span, []).append(index)
+
+    placed: List[Dict[str, object]] = []
+    for span_path, indices in by_span.items():
+        if span_path in intervals:
+            start, duration = intervals[span_path][0]
+        else:
+            start, duration = timeline_end, _MIN_SPAN_US * len(indices)
+        step = duration / (len(indices) + 1)
+        for position, index in enumerate(indices, start=1):
+            event = recorder.events[index]
+            placed.append(
+                {
+                    "name": event.kind,
+                    "cat": "event",
+                    "ph": "i",
+                    "s": "t",  # thread-scoped instant
+                    "ts": start + position * step,
+                    "pid": _PID,
+                    "tid": _TID,
+                    "args": {"seq": event.seq, "span": event.span, **event.data},
+                }
+            )
+    placed.sort(key=lambda e: (e["ts"], e["args"]["seq"]))
+    return placed
+
+
+def build_trace(
+    tracer: SpanTracer,
+    recorder: Optional[EventRecorder] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """The Chrome trace JSON object for one run's spans + events."""
+    span_events, intervals = _layout_spans(tracer.roots)
+    timeline_end = max(
+        (e["ts"] + e["dur"] for e in span_events), default=0.0
+    )
+    trace_events: List[Dict[str, object]] = [
+        {"name": "process_name", "ph": "M", "pid": _PID,
+         "args": {"name": "repro attack pipeline"}},
+        {"name": "thread_name", "ph": "M", "pid": _PID, "tid": _TID,
+         "args": {"name": "pipeline"}},
+    ]
+    trace_events.extend(span_events)
+    if recorder is not None:
+        trace_events.extend(_layout_events(recorder, intervals, timeline_end))
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(meta or {}),
+    }
+
+
+def write_trace(
+    path: PathLike,
+    tracer: SpanTracer,
+    recorder: Optional[EventRecorder] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> int:
+    """Write the trace file; returns the number of trace events written."""
+    trace = build_trace(tracer, recorder=recorder, meta=meta)
+    Path(path).write_text(json.dumps(trace, sort_keys=True) + "\n")
+    return len(trace["traceEvents"])
+
+
+def validate_trace(trace: Dict[str, object]) -> None:
+    """Assert the minimal Chrome trace-event invariants (tests/CI smoke).
+
+    Raises ``ValueError`` when the object would not load in Perfetto: a
+    missing ``traceEvents`` list, an event without a phase, a complete
+    event without a duration, or a child extending past its parent.
+    """
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace has no traceEvents list")
+    for event in events:
+        phase = event.get("ph")
+        if phase not in ("X", "i", "M"):
+            raise ValueError(f"unsupported phase {phase!r} in {event}")
+        if phase == "M":
+            continue
+        if not isinstance(event.get("ts"), (int, float)):
+            raise ValueError(f"event without numeric ts: {event}")
+        if phase == "X" and not isinstance(event.get("dur"), (int, float)):
+            raise ValueError(f"complete event without dur: {event}")
+        if "name" not in event or "pid" not in event or "tid" not in event:
+            raise ValueError(f"event missing name/pid/tid: {event}")

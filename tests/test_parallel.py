@@ -302,19 +302,31 @@ def test_register_profile_rejects_builtin_shadowing():
 # ---------------------------------------------------------------------------
 # End-to-end acceptance: the real micro-scale pipeline through the CLI.
 def test_cli_sweep_is_deterministic_across_worker_counts_and_resumes(tmp_path, monkeypatch):
-    """workers=1 and workers=4 produce byte-identical row files, and a sweep
-    killed mid-journal resumes to the same table."""
+    """workers=1 and workers=4 produce byte-identical row files (and flight
+    records), and a sweep killed mid-journal resumes to the same table."""
     from repro.cli import main
+    from repro.telemetry.manifest import manifest_path_for, read_manifest
 
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
     out1, out4 = tmp_path / "rows1.json", tmp_path / "rows4.json"
+    events1, events4 = tmp_path / "run1.events.jsonl", tmp_path / "run4.events.jsonl"
     argv = [
         "sweep", "--methods", "CFT,CFT+BR", "--models", "tinycnn",
         "--devices", "K1,A1", "--target", "1", "--scale", "micro",
     ]
-    assert main(argv + ["--workers", "1", "--out", str(out1)]) == 0
-    assert main(argv + ["--workers", "4", "--out", str(out4)]) == 0
+    assert main(argv + ["--workers", "1", "--out", str(out1),
+                        "--events", str(events1)]) == 0
+    assert main(argv + ["--workers", "4", "--out", str(out4),
+                        "--events", str(events4)]) == 0
     assert out1.read_bytes() == out4.read_bytes()
+    # Worker events are merged in grid order, so the flight record is also
+    # byte-identical across pool sizes.
+    assert events1.read_bytes() == events4.read_bytes()
+    manifest = read_manifest(
+        manifest_path_for(out1.with_name(out1.name + ".journal.jsonl"))
+    )
+    assert manifest["run_kind"] == "sweep"
+    assert "workers" not in manifest["config"]
     rows = json.loads(out1.read_text())
     assert [row["method"] for row in rows] == ["CFT", "CFT+BR"] * 2
     assert all(row["offline_n_flip"] >= 1 for row in rows)
