@@ -15,23 +15,36 @@ from repro.quant.bits import hamming_distance
 from repro.quant.weightfile import PAGE_SIZE_BITS
 
 
-def _predict(model: Module, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
-    """Class predictions for a batch of images, in eval mode."""
+def _predict(
+    model: Module, images: np.ndarray, batch_size: int = 256, engine=None
+) -> np.ndarray:
+    """Class predictions for a batch of images, in eval mode.
+
+    ``engine`` is an optional :class:`repro.engine.EvalEngine` over the same
+    model; when given, batched logits are served from its layer-prefix cache
+    (byte-identical to the plain forward, so predictions never change).
+    """
     was_training = model.training
     model.eval()
     predictions = []
     with no_grad():
         for start in range(0, len(images), batch_size):
-            logits = model(Tensor(images[start : start + batch_size])).numpy()
+            batch = images[start : start + batch_size]
+            if engine is not None:
+                logits = engine.forward(batch)
+            else:
+                logits = model(Tensor(batch)).numpy()
             predictions.append(logits.argmax(axis=1))
     if was_training:
         model.train()
     return np.concatenate(predictions) if predictions else np.empty(0, dtype=np.int64)
 
 
-def test_accuracy(model: Module, dataset: ArrayDataset, batch_size: int = 256) -> float:
+def test_accuracy(
+    model: Module, dataset: ArrayDataset, batch_size: int = 256, engine=None
+) -> float:
     """TA: fraction of clean test samples classified correctly."""
-    predictions = _predict(model, dataset.images, batch_size)
+    predictions = _predict(model, dataset.images, batch_size, engine=engine)
     return float((predictions == dataset.labels).mean()) if len(dataset) else 0.0
 
 
@@ -41,6 +54,7 @@ def attack_success_rate(
     trigger: TriggerPattern,
     target_class: int,
     batch_size: int = 256,
+    engine=None,
 ) -> float:
     """ASR: fraction of trigger-stamped test samples classified as the target.
 
@@ -50,7 +64,7 @@ def attack_success_rate(
     if not len(dataset):
         return 0.0
     stamped = trigger.apply(dataset.images)
-    predictions = _predict(model, stamped, batch_size)
+    predictions = _predict(model, stamped, batch_size, engine=engine)
     return float((predictions == target_class).mean())
 
 
@@ -90,9 +104,12 @@ def evaluate_attack(
     trigger: TriggerPattern,
     target_class: int,
     batch_size: int = 256,
+    engine=None,
 ) -> AttackEvaluation:
     """Evaluate TA and ASR of a (possibly backdoored) model in one pass."""
     return AttackEvaluation(
-        test_accuracy=test_accuracy(model, dataset, batch_size),
-        attack_success_rate=attack_success_rate(model, dataset, trigger, target_class, batch_size),
+        test_accuracy=test_accuracy(model, dataset, batch_size, engine=engine),
+        attack_success_rate=attack_success_rate(
+            model, dataset, trigger, target_class, batch_size, engine=engine
+        ),
     )

@@ -275,6 +275,7 @@ class CFTAttack:
             return attacker_data.images[idx], attacker_data.labels[idx]
 
         def refine_trigger(steps: int) -> None:
+            nonlocal stamped_eval
             for _ in range(steps):
                 images, labels = batch()
                 grads = attack_loss_and_grads(
@@ -283,6 +284,7 @@ class CFTAttack:
                 loss_history.append(grads.loss)
                 if config.trigger_update and grads.trigger_grad is not None:
                     trigger.fgsm_update(-grads.trigger_grad, config.epsilon)
+                    stamped_eval = None  # the hoisted stamped subset is stale
             if telemetry.events_enabled() and steps > 0:
                 telemetry.event(
                     "cft.trigger_round", steps=steps, loss=float(loss_history[-1])
@@ -295,14 +297,37 @@ class CFTAttack:
         eval_labels = attacker_data.labels[:eval_count]
         eval_targets = np.full(eval_count, config.target_class, dtype=np.int64)
 
-        def eval_asr() -> float:
-            """ASR on the fixed evaluation subset (telemetry only)."""
+        # The candidate loop below re-evaluates the objective after every
+        # single-byte flip; the engine reuses every layer prefix the flip
+        # left untouched.  Results are byte-identical with the engine off.
+        from repro.engine import EvalEngine, engine_enabled
+
+        engine = EvalEngine(model) if engine_enabled() else None
+
+        def _eval_logits(images: np.ndarray) -> np.ndarray:
             from repro.autodiff import no_grad
             from repro.autodiff.tensor import Tensor
 
+            if engine is not None:
+                return engine.forward(images)
             with no_grad():
-                stamped = trigger.apply(eval_images)
-                predictions = model(Tensor(stamped)).numpy().argmax(axis=1)
+                return model(Tensor(images)).data
+
+        # The trigger only moves between rounds (refine_trigger), while the
+        # candidate loop evaluates the objective dozens of times per round:
+        # stamp the evaluation subset once per trigger state so repeated
+        # objective() calls hand the engine the same batch object.
+        stamped_eval: Optional[np.ndarray] = None
+
+        def stamped_eval_images() -> np.ndarray:
+            nonlocal stamped_eval
+            if stamped_eval is None:
+                stamped_eval = trigger.apply(eval_images)
+            return stamped_eval
+
+        def eval_asr() -> float:
+            """ASR on the fixed evaluation subset (telemetry only)."""
+            predictions = _eval_logits(stamped_eval_images()).argmax(axis=1)
             return float((predictions == config.target_class).mean())
 
         def objective() -> tuple:
@@ -310,14 +335,12 @@ class CFTAttack:
             from repro.autodiff import cross_entropy, no_grad
             from repro.autodiff.tensor import Tensor
 
+            clean_logits = _eval_logits(eval_images)
+            trig_logits = _eval_logits(stamped_eval_images())
             with no_grad():
-                clean_logits = model(Tensor(eval_images))
-                clean = cross_entropy(clean_logits, eval_labels).item()
-                clean_acc = float(
-                    (clean_logits.numpy().argmax(axis=1) == eval_labels).mean()
-                )
-                stamped = trigger.apply(eval_images)
-                trig_loss = cross_entropy(model(Tensor(stamped)), eval_targets).item()
+                clean = cross_entropy(Tensor(clean_logits), eval_labels).item()
+                trig_loss = cross_entropy(Tensor(trig_logits), eval_targets).item()
+            clean_acc = float((clean_logits.argmax(axis=1) == eval_labels).mean())
             total = (1.0 - config.alpha) * clean + config.alpha * trig_loss
             return total, clean, clean_acc
 

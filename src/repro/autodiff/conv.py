@@ -38,9 +38,10 @@ def _im2col(
         strides=(strides[0], strides[1], strides[2] * stride, strides[3] * stride, strides[2], strides[3]),
         writeable=False,
     )
-    # -> (N, out_h*out_w, C*kh*kw)
+    # -> (N, out_h*out_w, C*kh*kw).  The reshape of the transposed strided
+    # view cannot be a view, so it already materialises a contiguous copy.
     cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h * out_w, c * kh * kw)
-    return np.ascontiguousarray(cols), out_h, out_w
+    return cols, out_h, out_w
 
 
 def _col2im(
@@ -147,8 +148,12 @@ class AvgPool2dFunction(Function):
         x_shape, kernel, stride, out_h, out_w = self.saved
         n, c, _, _ = x_shape
         grad_flat = grad.reshape(n, c, out_h * out_w).transpose(0, 2, 1)
-        grad_cols = np.repeat(grad_flat[..., None] / (kernel * kernel), kernel * kernel, axis=3)
-        grad_cols = grad_cols.reshape(n, out_h * out_w, c * kernel * kernel)
+        # Broadcast the per-window mean gradient across the kernel axis; the
+        # reshape materialises the stride-0 view exactly once.
+        scaled = grad_flat[..., None] / (kernel * kernel)
+        grad_cols = np.broadcast_to(
+            scaled, (n, out_h * out_w, c, kernel * kernel)
+        ).reshape(n, out_h * out_w, c * kernel * kernel)
         grad_x = _col2im(grad_cols, x_shape, kernel, kernel, stride, 0, out_h, out_w)
         return (grad_x,)
 

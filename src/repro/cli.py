@@ -120,6 +120,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         iterations=args.iterations,
         n_flip_budget=args.flips,
         include_sweep=not args.skip_sweep,
+        include_engine=not args.skip_engine,
         events=args.events,
         trace=args.trace,
         manifest=not args.no_manifest,
@@ -137,16 +138,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_bench_check(args: argparse.Namespace) -> int:
     from repro.telemetry import read_json
-    from repro.telemetry.regression import compare_reports, format_comparison
+    from repro.telemetry.regression import (
+        cache_hit_rate_line,
+        compare_reports,
+        format_comparison,
+    )
 
+    candidate = read_json(args.candidate)
     deviations = compare_reports(
         read_json(args.baseline),
-        read_json(args.candidate),
+        candidate,
         tolerance=args.tolerance,
         time_tolerance=args.time_tolerance,
         min_seconds=args.min_seconds,
     )
     print(format_comparison(deviations))
+    print(cache_hit_rate_line(candidate))
     return 1 if any(d.failed for d in deviations) else 0
 
 
@@ -281,6 +288,17 @@ def build_parser() -> argparse.ArgumentParser:
         "-v", "--verbose", action="count", default=0,
         help="-v: info, -vv: debug (shorthand for --log-level)",
     )
+    parser.add_argument(
+        "--no-engine", action="store_true",
+        help="disable the layer-prefix activation caching engine "
+             "(results are byte-identical either way; this is purely a "
+             "performance switch)",
+    )
+    parser.add_argument(
+        "--engine-cache-mb", type=float, default=None, metavar="MB",
+        help="LRU byte budget for the engine's activation cache "
+             "(default: REPRO_ENGINE_CACHE_MB or 64)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("devices", help="list the Table I DRAM device profiles")
@@ -315,6 +333,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--flips", type=int, default=2)
     bench.add_argument("--skip-sweep", action="store_true",
                        help="skip the 1-vs-2-worker sweep timing section")
+    bench.add_argument("--skip-engine", action="store_true",
+                       help="skip the cached-vs-uncached engine timing section")
     bench.add_argument("--events", help="record the run's flight-recorder event "
                        "stream (JSONL) to this path")
     bench.add_argument("--trace", help="export spans + events as a Chrome-trace/"
@@ -393,6 +413,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.log import configure, verbosity_to_level
 
     configure(args.log_level or verbosity_to_level(args.verbose))
+    # Engine toggles go through the environment so sweep worker processes
+    # (fork or spawn) inherit the same configuration as the parent.
+    import os
+
+    if args.no_engine:
+        os.environ["REPRO_ENGINE"] = "0"
+        from repro.engine import disable_engine
+
+        disable_engine()
+    if args.engine_cache_mb is not None:
+        os.environ["REPRO_ENGINE_CACHE_MB"] = str(args.engine_cache_mb)
     handlers = {
         "devices": _cmd_devices,
         "probability": _cmd_probability,

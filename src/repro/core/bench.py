@@ -50,6 +50,17 @@ class BenchCNN(Module):
         out = self.conv3(out).relu()
         return self.fc(self.hidden(self.pool(out)).relu())
 
+    def forward_stages(self):
+        """Stage decomposition for the evaluation engine (mirrors ``forward``)."""
+        return [
+            ("conv1", lambda x: self.conv1(x).relu(), (self.conv1,)),
+            ("conv2", lambda x: self.conv2(x).relu(), (self.conv2,)),
+            ("conv3", lambda x: self.conv3(x).relu(), (self.conv3,)),
+            ("pool", self.pool, (self.pool,)),
+            ("hidden", lambda x: self.hidden(x).relu(), (self.hidden,)),
+            ("fc", self.fc, (self.fc,)),
+        ]
+
 
 def _bench_sweep_durations(
     seed: int, workers_list: Sequence[int] = (1, 2)
@@ -105,6 +116,92 @@ def _bench_sweep_durations(
     return durations
 
 
+def _bench_engine_section(seed: int, candidates: int = 24) -> Dict[str, float]:
+    """Time the CFT+BR inner-loop evaluation with and without the engine.
+
+    Replays the hot pattern of the progressive solver at the ``micro``
+    preset: commit one single-bit flip in the tinycnn head, evaluate clean
+    and trigger-stamped logits over the fixed 64-image subset, revert -- the
+    head is where the model's parameter mass (and therefore most candidate
+    page groups) sits.  Both passes digest every logits array; a mismatch
+    means the determinism contract broke and the bench fails hard.
+
+    Records gauges ``engine.uncached_seconds`` / ``engine.cached_seconds`` /
+    ``engine.speedup`` / ``engine.hit_rate`` and spans
+    ``bench_engine.uncached`` / ``bench_engine.cached``.
+    """
+    import hashlib
+
+    from repro.autodiff import no_grad
+    from repro.autodiff.tensor import Tensor
+    from repro.core.experiment import SCALE_PRESETS
+    from repro.core.training import pretrained_quantized_model
+    from repro.data.trigger import TriggerPattern
+    from repro.engine import EvalEngine
+
+    scale = SCALE_PRESETS["micro"]
+    with telemetry.span("bench_engine"):
+        with telemetry.span("bench_engine.warm_cache"):
+            qmodel, _, _, attacker_data = pretrained_quantized_model(
+                "tinycnn", width=scale.width, epochs=scale.epochs, seed=seed
+            )
+        model = qmodel.module
+        model.eval()
+        eval_images = attacker_data.images[:64]
+        trigger = TriggerPattern.square(eval_images.shape[1:], 4)
+        stamped = trigger.apply(eval_images)
+
+        head = ["hidden.weight", "fc.weight"]
+        flips = [
+            (qmodel.offset_of(head[i % len(head)]) + 17 * i, 6)
+            for i in range(candidates)
+        ]
+
+        def candidate_loop(engine: Optional[EvalEngine]) -> str:
+            digest = hashlib.sha256()
+            for index, bit in flips:
+                qmodel.apply_bit_flip(index, bit)
+                for images in (eval_images, stamped):
+                    if engine is not None:
+                        logits = engine.forward(images)
+                    else:
+                        with no_grad():
+                            logits = model(Tensor(images)).data
+                    digest.update(logits.tobytes())
+                qmodel.apply_bit_flip(index, bit)  # revert
+            return digest.hexdigest()
+
+        candidate_loop(None)  # warm NumPy and the checkpoint before timing
+        with telemetry.span("bench_engine.uncached"):
+            start = time.perf_counter()
+            uncached_digest = candidate_loop(None)
+            uncached_seconds = time.perf_counter() - start
+
+        engine = EvalEngine(model)
+        with telemetry.span("bench_engine.cached"):
+            start = time.perf_counter()
+            cached_digest = candidate_loop(engine)
+            cached_seconds = time.perf_counter() - start
+
+        if cached_digest != uncached_digest:
+            raise RuntimeError(
+                "engine determinism contract broken: cached logits differ "
+                "from the plain forward"
+            )
+        stats = engine.cache.stats
+        section = {
+            "uncached_seconds": uncached_seconds,
+            "cached_seconds": cached_seconds,
+            "speedup": uncached_seconds / cached_seconds,
+            "hit_rate": stats.hit_rate(),
+        }
+        telemetry.gauge_set("engine.uncached_seconds", uncached_seconds)
+        telemetry.gauge_set("engine.cached_seconds", cached_seconds)
+        telemetry.gauge_set("engine.speedup", section["speedup"])
+        telemetry.gauge_set("engine.hit_rate", section["hit_rate"])
+    return section
+
+
 def run_bench(
     out: Optional[str] = "BENCH_pipeline.json",
     jsonl: Optional[str] = None,
@@ -114,6 +211,7 @@ def run_bench(
     n_flip_budget: int = 2,
     target_class: int = 1,
     include_sweep: bool = True,
+    include_engine: bool = True,
     events: Optional[str] = None,
     trace: Optional[str] = None,
     manifest: bool = True,
@@ -169,6 +267,7 @@ def run_bench(
     # Outside the "bench" span so the single-run baseline timing is not
     # distorted by the (parallelism-dependent) sweep comparison.
     sweep_durations = _bench_sweep_durations(seed) if include_sweep else {}
+    engine_section = _bench_engine_section(seed) if include_engine else {}
 
     meta = {
         "benchmark": "repro-bench",
@@ -181,6 +280,7 @@ def run_bench(
         "method": result.method,
         "online_n_flip": result.online_n_flip,
         "sweep_workers_seconds": {str(k): v for k, v in sweep_durations.items()},
+        "engine": engine_section,
     }
     report = telemetry.dump(out, meta=meta)
     if jsonl is not None:
@@ -208,6 +308,11 @@ def run_bench(
             artifacts["events"] = events
         if trace is not None:
             artifacts["trace"] = trace
+        engine_counters = {
+            name: value
+            for name, value in (report.get("counters") or {}).items()
+            if name.startswith("engine.cache.")
+        }
         write_manifest(
             build_manifest(
                 "bench",
@@ -217,10 +322,12 @@ def run_bench(
                     "n_flip_budget": n_flip_budget,
                     "target_class": target_class,
                     "include_sweep": include_sweep,
+                    "include_engine": include_engine,
                 },
                 seeds=[seed],
                 device="K1",
                 artifacts=artifacts,
+                counters=engine_counters,
             ),
             manifest_path_for(out),
         )

@@ -134,9 +134,15 @@ class BackdoorPipeline:
                     method=offline.method,
                     n_flip=offline.n_flip,
                 )
+        # One engine serves both evaluation phases: layers the online flips
+        # leave untouched replay the offline pass's cached activations.
+        from repro.engine import EvalEngine, engine_enabled
+
+        eval_engine = EvalEngine(qmodel.module) if engine_enabled() else None
         with telemetry.span("pipeline.evaluate", phase="offline"):
             offline_eval = evaluate_attack(
-                qmodel.module, test_data, offline.trigger, target_class
+                qmodel.module, test_data, offline.trigger, target_class,
+                engine=eval_engine,
             )
             if telemetry.events_enabled():
                 telemetry.event(
@@ -170,7 +176,8 @@ class BackdoorPipeline:
         qmodel.load_flat_int8(online.corrupted_weights)
         with telemetry.span("pipeline.evaluate", phase="online"):
             online_eval = evaluate_attack(
-                qmodel.module, test_data, offline.trigger, target_class
+                qmodel.module, test_data, offline.trigger, target_class,
+                engine=eval_engine,
             )
             if telemetry.events_enabled():
                 telemetry.event(

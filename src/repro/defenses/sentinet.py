@@ -47,6 +47,18 @@ class SentiNetDetector:
         self.benign_pool = np.asarray(benign_pool, dtype=np.float32)
         self.saliency_quantile = saliency_quantile
         self.threshold = threshold
+        # The detector re-runs the frozen model on every analyzed input;
+        # caching the unchanged layer prefixes is free speedup (the GradCAM
+        # pass needs gradients, so it stays on the plain forward).
+        from repro.engine import EvalEngine, engine_enabled
+
+        self._engine = EvalEngine(model) if engine_enabled() else None
+
+    def _logits(self, batch: np.ndarray) -> np.ndarray:
+        if self._engine is not None:
+            return self._engine.forward(batch)
+        with no_grad():
+            return self.model(Tensor(batch)).data
 
     def _salient_mask(self, image: np.ndarray, class_index: int) -> np.ndarray:
         """Image-resolution boolean mask of the most salient region."""
@@ -64,14 +76,12 @@ class SentiNetDetector:
         """Score one input by pasting its salient region onto the pool."""
         image = np.asarray(image, dtype=np.float32)
         self.model.eval()
-        with no_grad():
-            predicted = int(self.model(Tensor(image[None])).numpy().argmax())
+        predicted = int(self._logits(image[None]).argmax())
         mask = self._salient_mask(image, predicted)
 
         pasted = self.benign_pool.copy()
         pasted[:, :, mask] = image[:, mask]
-        with no_grad():
-            hijacked = self.model(Tensor(pasted)).numpy().argmax(axis=1)
+        hijacked = self._logits(pasted).argmax(axis=1)
         fooled = float((hijacked == predicted).mean())
         return SentiNetVerdict(
             fooled_fraction=fooled,

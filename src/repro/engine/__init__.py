@@ -1,0 +1,80 @@
+"""Layer-prefix activation caching engine for ``no_grad`` evaluation.
+
+The CFT+BR inner loop (Algorithm 1) spends almost all of its wall-clock
+re-running full forward passes over a fixed evaluation subset, even though
+each candidate flip it scores commits at most one byte change confined to a
+single layer -- the paper's C1/C2 constraints *guarantee* this sparsity.
+:class:`EvalEngine` exploits it the same way prefix/KV caches do in
+production inference stacks:
+
+- a model is compiled into an ordered :class:`~repro.engine.plan.LayerPlan`
+  of stages (see ``forward_stages`` on the zoo models);
+- every stage's weights carry version counters
+  (:attr:`repro.nn.module.Parameter.version` plus per-module buffer
+  versions), bumped by :class:`~repro.quant.qmodel.QuantizedModel` flip
+  commits and by direct ``nn.Module`` parameter writes;
+- a batched forward is served from the deepest cached activation whose key
+  (input fingerprint, stage index, per-layer version prefix) still matches,
+  and only the suffix of stages below the touched layer is recomputed;
+- entries live in an LRU cache under a byte budget
+  (``REPRO_ENGINE_CACHE_MB``, default 64); cached activations are served
+  zero-copy (marked read-only) into the recomputed suffix.
+
+**Determinism contract**: the engine replays the exact op sequence of
+``module(Tensor(x))``, and cached activations are the bit-for-bit arrays an
+uncached pass produces, so cached and uncached logits are byte-identical --
+sweep rows, flight records and golden snapshots never change when the
+engine is toggled.  The parity suite in ``tests/test_engine.py`` and the
+``repro bench`` engine section both assert this.
+
+Gating: enabled by default; disable with ``REPRO_ENGINE=0`` or the CLI's
+``--no-engine`` flag (exported to the environment so sweep workers
+inherit it).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.engine.cache import ActivationCache
+from repro.engine.engine import EvalEngine
+from repro.engine.plan import LayerPlan, Stage, compile_plan
+
+__all__ = [
+    "ActivationCache",
+    "EvalEngine",
+    "LayerPlan",
+    "Stage",
+    "compile_plan",
+    "default_byte_budget",
+    "disable_engine",
+    "enable_engine",
+    "engine_enabled",
+]
+
+_DISABLED_VALUES = ("0", "false", "no", "off")
+
+_enabled: bool = os.environ.get("REPRO_ENGINE", "1").lower() not in _DISABLED_VALUES
+
+
+def engine_enabled() -> bool:
+    """Whether evaluation paths should route through an :class:`EvalEngine`.
+
+    Purely a performance switch: results are byte-identical either way.
+    """
+    return _enabled
+
+
+def enable_engine() -> None:
+    global _enabled
+    _enabled = True
+
+
+def disable_engine() -> None:
+    global _enabled
+    _enabled = False
+
+
+def default_byte_budget() -> int:
+    """LRU byte budget for activation caches (``REPRO_ENGINE_CACHE_MB``)."""
+    return int(float(os.environ.get("REPRO_ENGINE_CACHE_MB", "64")) * 1024 * 1024)

@@ -1,0 +1,93 @@
+"""Compile a model into an ordered layer plan for prefix caching.
+
+A *stage* is a contiguous slice of the model's forward pass: a callable
+``Tensor -> Tensor`` plus the set of modules whose weights/buffers it reads.
+The stage list replays the model's ``forward`` op-for-op, so running all
+stages in order is byte-identical to ``module(x)``.
+
+Models opt in to fine-grained staging by defining ``forward_stages()``
+returning ``[(name, fn, modules), ...]``.  Without it, a ``Sequential`` is
+split per child, and any other module degrades to a single whole-model stage
+(correct, just cache-unfriendly below whole-model granularity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.autodiff.tensor import Tensor
+from repro.nn.layers import Sequential
+from repro.nn.module import Module
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One contiguous slice of a model's forward pass."""
+
+    name: str
+    fn: Callable[[Tensor], Tensor]
+    modules: Tuple[Module, ...]
+
+    def version_signature(self) -> Tuple[int, ...]:
+        """Versions of every parameter and buffer store this stage reads.
+
+        The signature changes iff some weight or buffer feeding this stage
+        was rebound since it was last computed; identical signatures imply
+        bit-for-bit identical stage outputs for the same input.
+        """
+        sig: List[int] = []
+        for module in self.modules:
+            for _, param in module.named_parameters():
+                sig.append(param.version)
+            for _, sub in module.named_modules():
+                sig.append(sub.buffers_version)
+        return tuple(sig)
+
+
+class LayerPlan:
+    """An ordered stage decomposition of one model's forward pass."""
+
+    def __init__(self, module: Module, stages: Sequence[Stage]) -> None:
+        if not stages:
+            raise ValueError("a layer plan needs at least one stage")
+        self.module = module
+        self.stages: Tuple[Stage, ...] = tuple(stages)
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def signatures(self) -> Tuple[Tuple[int, ...], ...]:
+        """Current per-stage version signatures, in stage order."""
+        return tuple(stage.version_signature() for stage in self.stages)
+
+
+def _stage_for(name: str, module: Module) -> Stage:
+    return Stage(name=name, fn=module, modules=(module,))
+
+
+def compile_plan(module: Module) -> LayerPlan:
+    """Build the finest stage decomposition the model supports.
+
+    Resolution order: the model's own ``forward_stages()`` protocol, then
+    per-child splitting for :class:`~repro.nn.layers.Sequential`, then a
+    single whole-model stage.  Every path replays the identical op sequence
+    as ``module(x)``.
+    """
+    forward_stages = getattr(module, "forward_stages", None)
+    if callable(forward_stages):
+        stages = [
+            Stage(name=name, fn=fn, modules=tuple(mods))
+            for name, fn, mods in forward_stages()
+        ]
+        return LayerPlan(module, stages)
+
+    # A Sequential's forward is exactly child-after-child application, so the
+    # per-child split is safe for it alone; arbitrary modules may do more in
+    # forward than call their children.
+    if isinstance(module, Sequential) and len(module) > 0:
+        return LayerPlan(
+            module, [_stage_for(name, getattr(module, name)) for name in module._order]
+        )
+
+    return LayerPlan(module, [Stage(name="forward", fn=module, modules=(module,))])

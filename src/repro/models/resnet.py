@@ -154,6 +154,23 @@ class ResNet(Module):
     def forward(self, x: Tensor) -> Tensor:
         return self.forward_head(self.forward_features(x))
 
+    def forward_stages(self):
+        """Stage decomposition for the evaluation engine (mirrors ``forward``).
+
+        Residual blocks are the finest safe granularity: each block's output
+        depends on all of its convolutions, batch norms and shortcut, so a
+        flip anywhere inside a block invalidates exactly that block onward.
+        """
+        stages = [("stem", lambda x: self.bn1(self.conv1(x)).relu(), (self.conv1, self.bn1))]
+        for stage_name in self.stages._order:
+            stage = getattr(self.stages, stage_name)
+            for block_name in stage._order:
+                block = getattr(stage, block_name)
+                stages.append((f"stages.{stage_name}.{block_name}", block, (block,)))
+        stages.append(("pool", self.pool, (self.pool,)))
+        stages.append(("fc", self.fc, (self.fc,)))
+        return stages
+
 
 def resnet20(num_classes: int = 10, width: float = 1.0, rng: SeedLike = None) -> ResNet:
     """CIFAR-style ResNet-20: 3 stages x 3 basic blocks, 16/32/64 channels."""

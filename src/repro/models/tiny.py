@@ -37,6 +37,15 @@ class TinySweepCNN(Module):
         out = self.conv1(x).relu()
         return self.fc(self.hidden(self.pool(out)).relu())
 
+    def forward_stages(self):
+        """Stage decomposition for the evaluation engine (mirrors ``forward``)."""
+        return [
+            ("conv1", lambda x: self.conv1(x).relu(), (self.conv1,)),
+            ("pool", self.pool, (self.pool,)),
+            ("hidden", lambda x: self.hidden(x).relu(), (self.hidden,)),
+            ("fc", self.fc, (self.fc,)),
+        ]
+
 
 def tinycnn(num_classes: int = 10, width: float = 1.0, rng: SeedLike = None) -> TinySweepCNN:
     """Factory registered as ``"tinycnn"`` in the model zoo."""

@@ -72,6 +72,20 @@ class VGG(Module):
     def forward(self, x: Tensor) -> Tensor:
         return self.forward_head(self.forward_features(x))
 
+    def forward_stages(self):
+        """Stage decomposition for the evaluation engine (mirrors ``forward``).
+
+        Each conv/bn/relu/pool layer of ``features`` is its own stage, so a
+        flip in layer k only recomputes layers >= k of the feature stack.
+        """
+        stages = [
+            (f"features.{name}", getattr(self.features, name), (getattr(self.features, name),))
+            for name in self.features._order
+        ]
+        stages.append(("pool", self.pool, (self.pool,)))
+        stages.append(("fc", self.fc, (self.fc,)))
+        return stages
+
 
 def vgg11(num_classes: int = 10, width: float = 1.0, rng: SeedLike = None) -> VGG:
     """VGG-11 with batch normalization."""

@@ -10,11 +10,41 @@ import numpy as np
 from repro.autodiff.tensor import Tensor
 
 
+# The slot descriptor Tensor defines for ``data``; Parameter shadows it with
+# a property below so every rebind can be observed, and uses this descriptor
+# to reach the underlying storage.
+_TENSOR_DATA_SLOT = Tensor.data
+
+
 class Parameter(Tensor):
-    """A tensor registered as a trainable module parameter."""
+    """A tensor registered as a trainable module parameter.
+
+    Every rebind of :attr:`data` bumps a monotonically increasing
+    :attr:`version` counter.  The evaluation engine
+    (:mod:`repro.engine`) keys its layer-prefix activation cache on these
+    versions, so any weight write -- an optimizer step, a quantized-model
+    sync, a committed bit flip -- invalidates exactly the cached prefixes
+    that depended on the touched parameter.  Code must rebind ``data``
+    (``param.data = new``) rather than mutate it in place for the
+    invalidation to be seen; every writer in this codebase does.
+    """
 
     def __init__(self, data: Any) -> None:
         super().__init__(data, requires_grad=True)
+
+    @property
+    def data(self) -> np.ndarray:
+        return _TENSOR_DATA_SLOT.__get__(self, Parameter)
+
+    @data.setter
+    def data(self, value: np.ndarray) -> None:
+        _TENSOR_DATA_SLOT.__set__(self, value)
+        self.__dict__["_version"] = self.__dict__.get("_version", 0) + 1
+
+    @property
+    def version(self) -> int:
+        """Number of times :attr:`data` has been rebound (never decreases)."""
+        return self.__dict__.get("_version", 0)
 
 
 class Module:
@@ -29,6 +59,7 @@ class Module:
         object.__setattr__(self, "_parameters", OrderedDict())
         object.__setattr__(self, "_modules", OrderedDict())
         object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "_buffers_version", 0)
         object.__setattr__(self, "training", True)
 
     def __setattr__(self, name: str, value: Any) -> None:
@@ -41,14 +72,26 @@ class Module:
     def register_buffer(self, name: str, value: np.ndarray) -> None:
         """Register a non-trainable persistent array (e.g. running stats)."""
         self._buffers[name] = value
+        object.__setattr__(self, "_buffers_version", self._buffers_version + 1)
         object.__setattr__(self, name, value)
 
     def _set_buffer(self, name: str, value: np.ndarray) -> None:
-        """Update a previously registered buffer in place of the attribute."""
+        """Update a previously registered buffer in place of the attribute.
+
+        Bumps :attr:`buffers_version` so cached activations that depended on
+        the old buffer state (e.g. batch-norm running statistics) are
+        invalidated by the evaluation engine.
+        """
         if name not in self._buffers:
             raise KeyError(f"buffer {name!r} was never registered")
         self._buffers[name] = value
+        object.__setattr__(self, "_buffers_version", self._buffers_version + 1)
         object.__setattr__(self, name, value)
+
+    @property
+    def buffers_version(self) -> int:
+        """Write counter over this module's own buffers (not submodules)."""
+        return self._buffers_version
 
     # ------------------------------------------------------------------
     # Traversal

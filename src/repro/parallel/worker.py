@@ -18,6 +18,12 @@ cover, because ``fork`` workers inherit the parent's modules verbatim):
   can never read a torn checkpoint.
 - :data:`repro.models.MODEL_REGISTRY` and the quantization/page constants
   are populated at import time and never mutated: safe under fork.
+- :mod:`repro.engine`'s enabled flag is read from ``REPRO_ENGINE`` at
+  import time and only changed by the CLI, which mirrors the change into
+  the environment before the pool starts -- fork and spawn workers agree
+  with the parent.  Engine *instances* (and their activation caches) are
+  created per evaluation loop, never at module level, so no cached
+  activations can leak across tasks or processes.
 """
 
 from __future__ import annotations

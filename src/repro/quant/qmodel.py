@@ -9,7 +9,8 @@ the integer weights so inference always reflects the deployed bytes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import bisect
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -44,6 +45,13 @@ class QuantizedModel:
         self._offsets: Dict[str, int] = {}
         self._qparams: Dict[str, QuantizationParams] = {}
         self._qweights: Dict[str, np.ndarray] = {}
+        # Names whose integer weights changed since the last sync, and the
+        # parameter version recorded at that sync: together they let
+        # sync_to_module skip parameters whose dequantized value the module
+        # already holds, so a single committed flip dirties a single layer
+        # (the evaluation engine's prefix cache depends on this sparsity).
+        self._dirty: Set[str] = set()
+        self._synced_versions: Dict[str, int] = {}
 
         offset = 0
         for name, param in module.named_parameters():
@@ -53,8 +61,11 @@ class QuantizedModel:
             self._offsets[name] = offset
             self._qparams[name] = params
             self._qweights[name] = q
+            self._dirty.add(name)
             offset += param.size
         self._total = offset
+        # Cumulative start offsets in layout order, for O(log L) locate().
+        self._starts: List[int] = [self._offsets[name] for name in self._names]
         self.sync_to_module()
 
     # ------------------------------------------------------------------
@@ -83,16 +94,19 @@ class QuantizedModel:
         return self._qparams[name]
 
     def locate(self, flat_index: int) -> Tuple[str, int]:
-        """Map a flat weight-file byte index to (parameter name, local index)."""
+        """Map a flat weight-file byte index to (parameter name, local index).
+
+        Binary-searches the precomputed cumulative offsets, so the per-flip
+        cost is O(log L) in the number of layers rather than a linear scan
+        (this runs for every committed flip event).
+        """
         if not 0 <= flat_index < self._total:
             raise QuantizationError(
                 f"flat index {flat_index} out of range [0, {self._total})"
             )
-        for name in reversed(self._names):
-            start = self._offsets[name]
-            if flat_index >= start:
-                return name, flat_index - start
-        raise QuantizationError("unreachable: empty layout")  # pragma: no cover
+        position = bisect.bisect_right(self._starts, flat_index) - 1
+        name = self._names[position]
+        return name, flat_index - self._starts[position]
 
     # ------------------------------------------------------------------
     # Integer weight access
@@ -106,7 +120,11 @@ class QuantizedModel:
         return np.concatenate([self._qweights[n].reshape(-1) for n in self._names])
 
     def load_flat_int8(self, flat: np.ndarray) -> None:
-        """Replace all integer weights from a flat int8 vector."""
+        """Replace all integer weights from a flat int8 vector.
+
+        Layers whose bytes are unchanged are left untouched (and not
+        re-synced), so a flip-sparse load dirties only the affected layers.
+        """
         flat = np.asarray(flat, dtype=np.int8)
         if flat.size != self._total:
             raise QuantizationError(
@@ -115,7 +133,10 @@ class QuantizedModel:
         for name in self._names:
             start = self._offsets[name]
             size = int(np.prod(self._shapes[name]))
-            self._qweights[name] = flat[start : start + size].reshape(self._shapes[name]).copy()
+            chunk = flat[start : start + size].reshape(self._shapes[name])
+            if not np.array_equal(chunk, self._qweights[name]):
+                self._qweights[name] = chunk.copy()
+                self._dirty.add(name)
         self.sync_to_module()
 
     def set_quantized(self, name: str, values: np.ndarray) -> None:
@@ -125,7 +146,9 @@ class QuantizedModel:
             raise QuantizationError(
                 f"shape mismatch for {name!r}: {values.shape} vs {self._shapes[name]}"
             )
-        self._qweights[name] = values.copy()
+        if not np.array_equal(values, self._qweights[name]):
+            self._qweights[name] = values.copy()
+            self._dirty.add(name)
         self.sync_to_module()
 
     def apply_bit_flip(self, flat_index: int, bit_index: int) -> None:
@@ -133,16 +156,31 @@ class QuantizedModel:
         name, local = self.locate(flat_index)
         q = self._qweights[name].reshape(-1)
         q[local] = flip_bit(q[local : local + 1], bit_index)[0]
+        self._dirty.add(name)
         self.sync_to_module()
 
     # ------------------------------------------------------------------
     # Float <-> int synchronization
     # ------------------------------------------------------------------
     def sync_to_module(self) -> None:
-        """Write dequantized weights into the float module's parameters."""
+        """Write dequantized weights into the float module's parameters.
+
+        A parameter is rewritten only when its integer weights changed since
+        the last sync **or** its float tensor was rebound by someone else in
+        the meantime (tracked via :attr:`~repro.nn.module.Parameter.version`).
+        Skipped parameters already hold exactly the bytes a rewrite would
+        produce, so behavior is identical to an unconditional sync while
+        leaving untouched layers' versions -- and therefore the evaluation
+        engine's cached activation prefixes -- intact.
+        """
         params = dict(self.module.named_parameters())
         for name in self._names:
-            params[name].data = dequantize(self._qweights[name], self._qparams[name])
+            param = params[name]
+            if name not in self._dirty and self._synced_versions.get(name) == param.version:
+                continue
+            param.data = dequantize(self._qweights[name], self._qparams[name])
+            self._synced_versions[name] = param.version
+        self._dirty.clear()
 
     def requantize_from_module(self, names: Optional[List[str]] = None) -> None:
         """Pull float parameters back into the integer domain.
@@ -155,7 +193,10 @@ class QuantizedModel:
         for name in names if names is not None else self._names:
             qp = self._qparams[name]
             q = np.clip(np.round(params[name].data / qp.scale), qp.qmin, qp.qmax)
-            self._qweights[name] = q.astype(np.int8)
+            q = q.astype(np.int8)
+            if not np.array_equal(q, self._qweights[name]):
+                self._qweights[name] = q
+                self._dirty.add(name)
 
     def clone(self) -> "QuantizedModel":
         """Deep-copy the integer state onto a snapshot sharing the module.
@@ -175,6 +216,11 @@ class QuantizedModel:
         twin._qparams = dict(self._qparams)
         twin._qweights = {k: v.copy() for k, v in self._qweights.items()}
         twin._total = self._total
+        twin._starts = list(self._starts)
+        # The twin has never synced: its first sync_to_module must write
+        # every parameter, exactly as a freshly built QuantizedModel would.
+        twin._dirty = set(twin._names)
+        twin._synced_versions = {}
         return twin
 
     def nflip_against(self, other: "QuantizedModel") -> int:

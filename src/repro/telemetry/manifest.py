@@ -47,6 +47,7 @@ def build_manifest(
     device: Optional[str] = None,
     grid_sha: Optional[str] = None,
     artifacts: Optional[Dict[str, str]] = None,
+    counters: Optional[Dict[str, float]] = None,
 ) -> Dict[str, object]:
     """Assemble the manifest document for one run.
 
@@ -65,6 +66,9 @@ def build_manifest(
     artifacts:
         Logical name -> file name of the sibling artifacts this manifest
         describes (journal, report, events, trace).
+    counters:
+        Deterministic run counters worth pinning to the artifact identity
+        (e.g. the evaluation engine's ``engine.cache.*`` hit/miss totals).
     """
     return {
         "schema": MANIFEST_SCHEMA,
@@ -77,6 +81,7 @@ def build_manifest(
         "device_profile": _profile_dict(device),
         "grid_sha": grid_sha,
         "artifacts": dict(artifacts or {}),
+        "counters": dict(counters or {}),
     }
 
 

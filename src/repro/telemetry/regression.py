@@ -141,6 +141,25 @@ def compare_reports(
     return deviations
 
 
+def cache_hit_rate_line(report: Dict[str, object]) -> str:
+    """Informational one-liner on the evaluation engine's cache efficiency.
+
+    Reads the ``engine.cache.*`` counters a bench report exports; returns a
+    line suitable for ``bench-check`` output (never part of the gate).
+    """
+    counters: Dict[str, float] = report.get("counters", {}) or {}
+    hits = float(counters.get("engine.cache.hit", 0.0))
+    misses = float(counters.get("engine.cache.miss", 0.0))
+    evicted = float(counters.get("engine.cache.evicted_bytes", 0.0))
+    total = hits + misses
+    if total == 0:
+        return "engine-cache: no engine forwards recorded"
+    return (
+        f"engine-cache: hits={hits:.0f} misses={misses:.0f} "
+        f"hit-rate={100.0 * hits / total:.1f}% evicted={evicted:.0f}B (informational)"
+    )
+
+
 def format_comparison(deviations: List[Deviation]) -> str:
     """Human-readable gate output: failures, then passes, then drift info."""
     failed = [d for d in deviations if d.failed]

@@ -48,6 +48,17 @@ class TinyCNN(Module):
     def forward(self, x):
         return self.forward_head(self.forward_features(x))
 
+    def forward_stages(self):
+        """Stage decomposition for the evaluation engine (mirrors ``forward``)."""
+        return [
+            ("conv1", lambda x: self.conv1(x).relu(), (self.conv1,)),
+            ("conv2", lambda x: self.conv2(x).relu(), (self.conv2,)),
+            ("conv3", lambda x: self.conv3(x).relu(), (self.conv3,)),
+            ("pool", self.pool, (self.pool,)),
+            ("hidden", lambda x: self.hidden(x).relu(), (self.hidden,)),
+            ("fc", self.fc, (self.fc,)),
+        ]
+
 
 @pytest.fixture
 def tiny_model():
