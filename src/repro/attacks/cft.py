@@ -299,8 +299,10 @@ class CFTAttack:
 
         # The candidate loop below re-evaluates the objective after every
         # single-byte flip; the engine reuses every layer prefix the flip
-        # left untouched.  Results are byte-identical with the engine off.
-        from repro.engine import EvalEngine, engine_enabled
+        # left untouched, and (when batching is on) scores each round's
+        # proposals with one batched suffix forward per touched layer.
+        # Results are byte-identical with the engine or batching off.
+        from repro.engine import EvalEngine, batch_enabled, engine_enabled
 
         engine = EvalEngine(model) if engine_enabled() else None
 
@@ -330,19 +332,28 @@ class CFTAttack:
             predictions = _eval_logits(stamped_eval_images()).argmax(axis=1)
             return float((predictions == config.target_class).mean())
 
-        def objective() -> tuple:
-            """(total, clean_loss, clean_accuracy) over the evaluation subset."""
+        def objective_from_logits(clean_logits: np.ndarray, trig_logits: np.ndarray) -> tuple:
+            """(total, clean_loss, clean_accuracy): Eq. 3 on precomputed logits.
+
+            Shared by the sequential and the batched candidate paths, so
+            identical logits bytes imply bit-identical objective floats --
+            and therefore an identical selected flip sequence.
+            """
             from repro.autodiff import cross_entropy, no_grad
             from repro.autodiff.tensor import Tensor
 
-            clean_logits = _eval_logits(eval_images)
-            trig_logits = _eval_logits(stamped_eval_images())
             with no_grad():
                 clean = cross_entropy(Tensor(clean_logits), eval_labels).item()
                 trig_loss = cross_entropy(Tensor(trig_logits), eval_targets).item()
             clean_acc = float((clean_logits.argmax(axis=1) == eval_labels).mean())
             total = (1.0 - config.alpha) * clean + config.alpha * trig_loss
             return total, clean, clean_acc
+
+        def objective() -> tuple:
+            """(total, clean_loss, clean_accuracy) over the evaluation subset."""
+            return objective_from_logits(
+                _eval_logits(eval_images), _eval_logits(stamped_eval_images())
+            )
 
         def apply_value(index: int, new_value: np.int8) -> np.int8:
             """Set one flat weight; returns the previous value."""
@@ -400,14 +411,33 @@ class CFTAttack:
                     candidates=len(proposals),
                 )
             best: Optional[tuple] = None
-            for index, new_value in proposals:
-                previous = apply_value(index, new_value)
-                score, _, clean_acc = objective()
-                apply_value(index, previous)
-                if clean_acc < min_clean_acc:
-                    continue
-                if best is None or score < best[0]:
-                    best = (score, index, new_value)
+            if engine is not None and batch_enabled() and proposals:
+                # Round-level batched scoring: C1/C2 + bit reduction confine
+                # every proposal to one byte in one layer, so the engine
+                # restores each touched layer's shared prefix once and runs
+                # one stacked suffix forward per layer group.  The logits --
+                # and therefore the flip this round commits -- are
+                # byte-identical to the sequential path in the else branch.
+                clean_stack, trig_stack = engine.score_candidates(
+                    qmodel, proposals, (eval_images, stamped_eval_images())
+                )
+                for k, (index, new_value) in enumerate(proposals):
+                    score, _, clean_acc = objective_from_logits(
+                        clean_stack[k], trig_stack[k]
+                    )
+                    if clean_acc < min_clean_acc:
+                        continue
+                    if best is None or score < best[0]:
+                        best = (score, index, new_value)
+            else:
+                for index, new_value in proposals:
+                    previous = apply_value(index, new_value)
+                    score, _, clean_acc = objective()
+                    apply_value(index, previous)
+                    if clean_acc < min_clean_acc:
+                        continue
+                    if best is None or score < best[0]:
+                        best = (score, index, new_value)
             if best is None or best[0] >= baseline:
                 # No admissible flip improves the objective this round.
                 refine_trigger(trigger_steps)

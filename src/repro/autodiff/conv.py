@@ -84,9 +84,11 @@ class Conv2dFunction(Function):
             raise ShapeError(
                 f"conv2d input has {x.shape[1]} channels but weight expects {in_c}"
             )
+        from repro.backend import current_backend
+
         cols, out_h, out_w = _im2col(x, kh, kw, stride, padding)
         w_mat = weight.reshape(out_c, -1)
-        out = cols @ w_mat.T  # (N, out_h*out_w, out_c)
+        out = current_backend().conv_cols_matmul(cols, w_mat)  # (N, out_h*out_w, out_c)
         if bias is not None:
             out = out + bias
         out = out.transpose(0, 2, 1).reshape(x.shape[0], out_c, out_h, out_w)

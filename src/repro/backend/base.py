@@ -1,0 +1,40 @@
+"""Backend protocol: the compute kernels ``repro.autodiff`` delegates to.
+
+A backend owns the handful of dense kernels that dominate inference
+wall-clock (today: the im2col contraction behind every ``conv2d``).  The
+default :class:`~repro.backend.numpy_backend.NumpyBackend` reproduces the
+historical op sequence bit for bit, so switching it in is invisible to the
+golden snapshots; alternative profiles (``fast``) may trade byte-identity
+for throughput and are therefore covered by tolerance-based parity tests
+only, never by the byte-exact golden suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Backend:
+    """Base class for compute backends.
+
+    Subclasses set :attr:`name` (the ``REPRO_BACKEND`` value selecting
+    them) and :attr:`byte_identical` (whether the backend guarantees the
+    exact bytes of the default NumPy op sequence -- golden and digest
+    tests only run under byte-identical backends).
+    """
+
+    name: str = "base"
+    byte_identical: bool = False
+
+    def conv_cols_matmul(self, cols: np.ndarray, w_mat: np.ndarray) -> np.ndarray:
+        """Contract im2col patches with the kernel matrix.
+
+        ``cols`` is ``(N, out_h*out_w, C*kh*kw)`` (one patch row per output
+        pixel), ``w_mat`` is ``(out_c, C*kh*kw)``; the result must be
+        ``(N, out_h*out_w, out_c)``.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        """Metadata exported into bench reports and manifests."""
+        return {"name": self.name, "byte_identical": self.byte_identical}

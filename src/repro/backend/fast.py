@@ -1,0 +1,36 @@
+"""The ``fast`` profile: fused, contiguous, float32-everywhere kernels.
+
+Opt-in via ``REPRO_BACKEND=fast``.  Two deviations from the reference
+backend buy the speed:
+
+- **Fused im2col contraction**: the per-sample batched GEMM collapses into
+  a single ``(N*L, K) @ (K, out_c)`` call, so BLAS sees one large problem
+  instead of N small ones (better blocking/threading, no gufunc loop).
+- **float32 everywhere**: operands are forced to contiguous float32 before
+  the GEMM, so a float64 upcast sneaking into an inference path cannot
+  silently double memory traffic.
+
+Both change the floating-point reduction *grouping*, so outputs are only
+guaranteed equal to the reference backend within tolerance -- ``fast`` is
+excluded from byte-identity golden tests and covered by the tolerance
+parity suite in ``tests/test_backend.py`` instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import Backend
+
+
+class FastBackend(Backend):
+    """Throughput-first kernels; tolerance-equal to the reference backend."""
+
+    name = "fast"
+    byte_identical = False
+
+    def conv_cols_matmul(self, cols: np.ndarray, w_mat: np.ndarray) -> np.ndarray:
+        n, length, k = cols.shape
+        flat = np.ascontiguousarray(cols.reshape(n * length, k), dtype=np.float32)
+        kernel = np.ascontiguousarray(w_mat.T, dtype=np.float32)
+        return (flat @ kernel).reshape(n, length, kernel.shape[1])

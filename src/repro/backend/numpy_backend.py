@@ -1,0 +1,25 @@
+"""The default backend: the exact NumPy op sequence the repo has always run.
+
+Every kernel here is the literal expression the autodiff ops used before the
+backend abstraction existed, so the bytes it produces are the reference the
+golden snapshots, sweep rows and engine digests were recorded against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import Backend
+
+
+class NumpyBackend(Backend):
+    """Reference kernels; byte-identical to the pre-backend code path."""
+
+    name = "numpy"
+    byte_identical = True
+
+    def conv_cols_matmul(self, cols: np.ndarray, w_mat: np.ndarray) -> np.ndarray:
+        # The 3-D @ 2-D matmul runs one (L, K) x (K, out_c) GEMM per sample
+        # via the gufunc batch loop -- per-sample results are independent of
+        # the batch size, which the engine's candidate stacking relies on.
+        return cols @ w_mat.T

@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``):
     python -m repro.cli devices
     python -m repro.cli bench --out BENCH_pipeline.json --events flight.jsonl --trace trace.json
     python -m repro.cli bench-check benchmarks/BENCH_pipeline.json BENCH_pipeline.json
+    python -m repro.cli bench-trend benchmarks/BENCH_pipeline.json BENCH_pipeline.*.json
     python -m repro.cli sweep --models resnet20 --devices K1,A1 --workers 4 --out rows.json
     python -m repro.cli report flight.jsonl
     python -m repro.cli report rows.json.journal.jsonl --format json
@@ -157,6 +158,18 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
     return 1 if any(d.failed for d in deviations) else 0
 
 
+def _cmd_bench_trend(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.telemetry import read_json
+    from repro.telemetry.regression import format_trend
+
+    runs = [(os.path.basename(path), read_json(path)) for path in args.reports]
+    print(format_trend(runs))
+    # Informational only: trend drift never gates a build (bench-check does).
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import dataclasses
     import json
@@ -299,6 +312,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU byte budget for the engine's activation cache "
              "(default: REPRO_ENGINE_CACHE_MB or 64)",
     )
+    parser.add_argument(
+        "--no-engine-batch", action="store_true",
+        help="score round candidates sequentially instead of through the "
+             "batched stacked-suffix scorer (byte-identical either way; "
+             "purely a performance switch)",
+    )
+    parser.add_argument(
+        "--backend", choices=["numpy", "fast"], default=None,
+        help="compute backend (default: REPRO_BACKEND or numpy); 'fast' "
+             "trades byte-level determinism for fused float32 conv GEMMs",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("devices", help="list the Table I DRAM device profiles")
@@ -353,6 +377,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max relative deviation for span wall-times (default 0.25)")
     check.add_argument("--min-seconds", type=float, default=0.05,
                        help="ignore spans whose baseline total is below this")
+
+    trend = sub.add_parser(
+        "bench-trend",
+        help="print an informational metric trend across bench reports "
+             "(never fails the build)",
+    )
+    trend.add_argument("reports", nargs="+",
+                       help="BENCH_pipeline.json reports, oldest first "
+                            "(typically the committed baseline then per-run copies)")
 
     table2 = sub.add_parser("table2", help="run a Table II method comparison")
     table2.add_argument("--model", default="resnet20")
@@ -424,6 +457,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         disable_engine()
     if args.engine_cache_mb is not None:
         os.environ["REPRO_ENGINE_CACHE_MB"] = str(args.engine_cache_mb)
+    if args.no_engine_batch:
+        os.environ["REPRO_ENGINE_BATCH"] = "0"
+        from repro.engine import disable_batch
+
+        disable_batch()
+    if args.backend is not None:
+        os.environ["REPRO_BACKEND"] = args.backend
+        from repro.backend import set_backend
+
+        set_backend(args.backend)
     handlers = {
         "devices": _cmd_devices,
         "probability": _cmd_probability,
@@ -431,6 +474,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "table2": _cmd_table2,
         "bench": _cmd_bench,
         "bench-check": _cmd_bench_check,
+        "bench-trend": _cmd_bench_trend,
         "sweep": _cmd_sweep,
         "report": _cmd_report,
     }

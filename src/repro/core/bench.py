@@ -19,6 +19,8 @@ import platform
 import time
 from typing import Dict, Optional, Sequence
 
+import numpy as np
+
 from repro import telemetry
 from repro.attacks import AttackConfig, CFTAttack
 from repro.core.config import MemoryConfig, PipelineConfig
@@ -126,9 +128,16 @@ def _bench_engine_section(seed: int, candidates: int = 24) -> Dict[str, float]:
     page groups) sits.  Both passes digest every logits array; a mismatch
     means the determinism contract broke and the bench fails hard.
 
+    A third pass scores the identical candidate set through the round-level
+    batched scorer (:func:`repro.engine.batch.score_candidates`) -- one
+    stacked suffix forward per perturbed stage instead of one scalar forward
+    per candidate -- and must reproduce the same digest byte-for-byte.
+
     Records gauges ``engine.uncached_seconds`` / ``engine.cached_seconds`` /
-    ``engine.speedup`` / ``engine.hit_rate`` and spans
-    ``bench_engine.uncached`` / ``bench_engine.cached``.
+    ``engine.batched_seconds`` / ``engine.speedup`` /
+    ``engine.batched_speedup`` / ``engine.hit_rate`` and spans
+    ``bench_engine.uncached`` / ``bench_engine.cached`` /
+    ``bench_engine.batched``.
     """
     import hashlib
 
@@ -138,6 +147,7 @@ def _bench_engine_section(seed: int, candidates: int = 24) -> Dict[str, float]:
     from repro.core.training import pretrained_quantized_model
     from repro.data.trigger import TriggerPattern
     from repro.engine import EvalEngine
+    from repro.quant.bits import flip_bit
 
     scale = SCALE_PRESETS["micro"]
     with telemetry.span("bench_engine"):
@@ -188,16 +198,53 @@ def _bench_engine_section(seed: int, candidates: int = 24) -> Dict[str, float]:
                 "engine determinism contract broken: cached logits differ "
                 "from the plain forward"
             )
+
+        # Same candidates as proposals for the batched scorer: the new byte
+        # value of each flip, computed against the (restored) baseline file.
+        proposals = []
+        for index, bit in flips:
+            name, local = qmodel.locate(index)
+            current = qmodel.quantized(name).reshape(-1)[local]
+            proposals.append(
+                (index, int(flip_bit(np.array([current], dtype=np.int8), bit)[0]))
+            )
+
+        def batched_loop() -> str:
+            clean_stack, trig_stack = engine.score_candidates(
+                qmodel, proposals, (eval_images, stamped)
+            )
+            digest = hashlib.sha256()
+            for k in range(len(proposals)):
+                digest.update(clean_stack[k].tobytes())
+                digest.update(trig_stack[k].tobytes())
+            return digest.hexdigest()
+
+        batched_loop()  # warm the prefix cache under the batched key pattern
+        with telemetry.span("bench_engine.batched"):
+            start = time.perf_counter()
+            batched_digest = batched_loop()
+            batched_seconds = time.perf_counter() - start
+
+        if batched_digest != uncached_digest:
+            raise RuntimeError(
+                "batched scoring determinism contract broken: stacked-suffix "
+                "logits differ from the sequential candidate loop"
+            )
+
         stats = engine.cache.stats
         section = {
             "uncached_seconds": uncached_seconds,
             "cached_seconds": cached_seconds,
+            "batched_seconds": batched_seconds,
             "speedup": uncached_seconds / cached_seconds,
+            "batched_speedup": cached_seconds / batched_seconds,
             "hit_rate": stats.hit_rate(),
         }
         telemetry.gauge_set("engine.uncached_seconds", uncached_seconds)
         telemetry.gauge_set("engine.cached_seconds", cached_seconds)
+        telemetry.gauge_set("engine.batched_seconds", batched_seconds)
         telemetry.gauge_set("engine.speedup", section["speedup"])
+        telemetry.gauge_set("engine.batched_speedup", section["batched_speedup"])
         telemetry.gauge_set("engine.hit_rate", section["hit_rate"])
     return section
 
@@ -311,7 +358,7 @@ def run_bench(
         engine_counters = {
             name: value
             for name, value in (report.get("counters") or {}).items()
-            if name.startswith("engine.cache.")
+            if name.startswith("engine.")
         }
         write_manifest(
             build_manifest(

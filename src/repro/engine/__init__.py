@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import os
 
+from repro.engine.batch import score_candidates
 from repro.engine.cache import ActivationCache
 from repro.engine.engine import EvalEngine
 from repro.engine.plan import LayerPlan, Stage, compile_plan
@@ -45,16 +46,24 @@ __all__ = [
     "EvalEngine",
     "LayerPlan",
     "Stage",
+    "batch_enabled",
     "compile_plan",
     "default_byte_budget",
+    "disable_batch",
     "disable_engine",
+    "enable_batch",
     "enable_engine",
     "engine_enabled",
+    "score_candidates",
 ]
 
 _DISABLED_VALUES = ("0", "false", "no", "off")
 
 _enabled: bool = os.environ.get("REPRO_ENGINE", "1").lower() not in _DISABLED_VALUES
+
+_batch_enabled: bool = (
+    os.environ.get("REPRO_ENGINE_BATCH", "1").lower() not in _DISABLED_VALUES
+)
 
 
 def engine_enabled() -> bool:
@@ -73,6 +82,27 @@ def enable_engine() -> None:
 def disable_engine() -> None:
     global _enabled
     _enabled = False
+
+
+def batch_enabled() -> bool:
+    """Whether the CFT+BR round loop should score candidates in batches.
+
+    Like the engine flag itself this is purely a performance switch: the
+    batched scorer (:func:`repro.engine.batch.score_candidates`) returns
+    logits byte-identical to the sequential candidate loop.  Disable with
+    ``REPRO_ENGINE_BATCH=0`` or the CLI's ``--no-engine-batch``.
+    """
+    return _batch_enabled
+
+
+def enable_batch() -> None:
+    global _batch_enabled
+    _batch_enabled = True
+
+
+def disable_batch() -> None:
+    global _batch_enabled
+    _batch_enabled = False
 
 
 def default_byte_budget() -> int:

@@ -98,15 +98,35 @@ class EvalEngine:
 
         sigs = self.plan.signatures()
         fp = self._memo.fingerprint(x)
+        # The full forward is the degenerate prefix: the "input" of the
+        # stage one past the end of the plan.
+        return self.prefix_input(x, fp, sigs, len(self.plan.stages))
+
+    def prefix_input(
+        self,
+        x: np.ndarray,
+        fp: bytes,
+        sigs: tuple,
+        upto: int,
+    ) -> np.ndarray:
+        """The input activation of stage ``upto`` (output of stage ``upto-1``).
+
+        Served from the deepest valid cached prefix below ``upto``; any
+        missing stages are computed and written through the cache under the
+        supplied version signatures.  ``upto == len(stages)`` yields the
+        model output; ``upto == 0`` returns ``x`` untouched (no probe, no
+        hit/miss accounting).
+        """
+        if upto == 0:
+            return x
         stages = self.plan.stages
-        last = len(stages) - 1
 
         # Probe from the deepest stage down: the first (deepest) key whose
         # version-signature prefix still matches gives the longest reusable
         # prefix of the forward pass.
         start = 0
         h = x
-        for i in range(last, -1, -1):
+        for i in range(upto - 1, -1, -1):
             cached = self.cache.get((fp, i, sigs[: i + 1]))
             if cached is not None:
                 start = i + 1
@@ -125,7 +145,7 @@ class EvalEngine:
 
         evicted_before = self.cache.stats.evicted_bytes
         with no_grad():
-            for i in range(start, len(stages)):
+            for i in range(start, upto):
                 h = stages[i].fn(Tensor(h)).data
                 self.cache.put((fp, i, sigs[: i + 1]), h)
         if telemetry.enabled():
@@ -137,6 +157,12 @@ class EvalEngine:
                 self.cache.stats.evicted_bytes - evicted_before,
             )
         return h
+
+    def score_candidates(self, qmodel, proposals, images):
+        """Batched round-level candidate scoring (see :mod:`repro.engine.batch`)."""
+        from repro.engine.batch import score_candidates
+
+        return score_candidates(self, qmodel, proposals, images)
 
     __call__ = forward
 

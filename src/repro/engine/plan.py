@@ -14,11 +14,19 @@ split per child, and any other module degrades to a single whole-model stage
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import telemetry
 from repro.autodiff.tensor import Tensor
+from repro.log import get_logger
 from repro.nn.layers import Sequential
-from repro.nn.module import Module
+from repro.nn.module import Module, Parameter
+
+log = get_logger(__name__)
+
+# Module classes already warned about degrading to a whole-model stage; the
+# warning fires once per class per process, not once per compile.
+_degradation_warned: Set[str] = set()
 
 
 @dataclass(frozen=True)
@@ -53,6 +61,7 @@ class LayerPlan:
             raise ValueError("a layer plan needs at least one stage")
         self.module = module
         self.stages: Tuple[Stage, ...] = tuple(stages)
+        self._param_stage: Optional[Dict[int, int]] = None
 
     def __len__(self) -> int:
         return len(self.stages)
@@ -60,6 +69,28 @@ class LayerPlan:
     def signatures(self) -> Tuple[Tuple[int, ...], ...]:
         """Current per-stage version signatures, in stage order."""
         return tuple(stage.version_signature() for stage in self.stages)
+
+    def stage_index_of(self, param: Parameter) -> int:
+        """Index of the (first) stage whose computation reads ``param``.
+
+        Built lazily from the stages' module sets and keyed on parameter
+        object identity -- Parameter objects are stable across ``data``
+        rebinds, so the map survives flip commits and optimizer steps.
+        """
+        if self._param_stage is None:
+            mapping: Dict[int, int] = {}
+            for index, stage in enumerate(self.stages):
+                for module in stage.modules:
+                    for _, stage_param in module.named_parameters():
+                        mapping.setdefault(id(stage_param), index)
+            self._param_stage = mapping
+        try:
+            return self._param_stage[id(param)]
+        except KeyError:
+            raise ValueError(
+                "parameter is not read by any stage of this plan "
+                "(was it rebound as a new Parameter object?)"
+            ) from None
 
 
 def _stage_for(name: str, module: Module) -> Stage:
@@ -90,4 +121,19 @@ def compile_plan(module: Module) -> LayerPlan:
             module, [_stage_for(name, getattr(module, name)) for name in module._order]
         )
 
+    # Whole-model degradation: correct, but the prefix cache can only serve
+    # full-forward hits, so every flip recomputes the entire model.  Surface
+    # it -- once per module class -- so CI's engine summary and operators
+    # notice a zoo model that silently lost its staging.
+    cls_name = type(module).__name__
+    if cls_name not in _degradation_warned:
+        _degradation_warned.add(cls_name)
+        log.warning(
+            "%s defines no forward_stages(); the evaluation engine degrades to a "
+            "single whole-model stage (prefix caching disabled below model "
+            "granularity)",
+            cls_name,
+        )
+    if telemetry.enabled():
+        telemetry.counter_add("engine.plan.degraded")
     return LayerPlan(module, [Stage(name="forward", fn=module, modules=(module,))])

@@ -24,7 +24,7 @@ without forcing a re-baseline each time instrumentation evolves.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import Dict, List, Sequence, Tuple
 
 DEFAULT_TOLERANCE = 0.25  # ISSUE-specified: fail beyond 25 % deviation
 DEFAULT_MIN_SECONDS = 0.05  # ignore sub-noise-floor spans
@@ -158,6 +158,53 @@ def cache_hit_rate_line(report: Dict[str, object]) -> str:
         f"engine-cache: hits={hits:.0f} misses={misses:.0f} "
         f"hit-rate={100.0 * hits / total:.1f}% evicted={evicted:.0f}B (informational)"
     )
+
+
+# Top-level spans worth tracking across runs; sub-spans are too noisy for a
+# trend line and already covered by the regression gate.
+TREND_SPANS = ("bench", "bench_sweep", "bench_engine")
+
+
+def _trend_metrics(report: Dict[str, object]) -> Dict[str, float]:
+    metrics: Dict[str, float] = {}
+    for path, span in (report.get("spans") or {}).items():
+        if path in TREND_SPANS:
+            metrics[f"span.{path}.seconds"] = float(span["total_seconds"])
+    for name, value in (report.get("gauges") or {}).items():
+        if value is not None:
+            metrics[f"gauge.{name}"] = float(value)
+    return metrics
+
+
+def format_trend(runs: Sequence[Tuple[str, Dict[str, object]]]) -> str:
+    """Wall-time/gauge trend table across bench reports, oldest first.
+
+    Purely informational -- ``repro bench-trend`` never gates a build; the
+    25 % regression gate is :func:`compare_reports`.  Rows are the union of
+    top-level span totals (:data:`TREND_SPANS`) and every recorded gauge;
+    a run missing a metric shows ``n/a`` rather than failing, so trend
+    output stays usable across instrumentation changes.
+    """
+    if not runs:
+        return "bench-trend: no reports"
+    per_run = [(label, _trend_metrics(report)) for label, report in runs]
+    names = sorted({name for _, metrics in per_run for name in metrics})
+    label_width = max(12, max(len(label) for label, _ in per_run))
+    name_width = max(len(name) for name in names) if names else 6
+    lines = [
+        " ".join(
+            ["metric".ljust(name_width)]
+            + [label.rjust(label_width) for label, _ in per_run]
+        )
+    ]
+    for name in names:
+        cells = []
+        for _, metrics in per_run:
+            value = metrics.get(name)
+            cells.append(("n/a" if value is None else f"{value:.6g}").rjust(label_width))
+        lines.append(" ".join([name.ljust(name_width)] + cells))
+    lines.append(f"bench-trend: {len(per_run)} run(s), informational only")
+    return "\n".join(lines)
 
 
 def format_comparison(deviations: List[Deviation]) -> str:

@@ -20,9 +20,12 @@ from repro.autodiff.tensor import Tensor, no_grad
 from repro.engine import (
     ActivationCache,
     EvalEngine,
+    batch_enabled,
     compile_plan,
     default_byte_budget,
+    disable_batch,
     disable_engine,
+    enable_batch,
     enable_engine,
     engine_enabled,
 )
@@ -36,10 +39,12 @@ from tests.conftest import TinyCNN
 
 @pytest.fixture(autouse=True)
 def _restore_engine_flag():
-    """Leave the process-global enabled flag exactly as we found it."""
+    """Leave the process-global enabled flags exactly as we found them."""
     was = engine_enabled()
+    was_batch = batch_enabled()
     yield
     (enable_engine if was else disable_engine)()
+    (enable_batch if was_batch else disable_batch)()
 
 
 def _images(shape, seed=0):
@@ -322,6 +327,160 @@ def test_engine_exports_telemetry_counters(tiny_model):
 
 
 # ---------------------------------------------------------------------------
+# Batched candidate scoring: one stacked suffix forward per round
+
+
+def _flip_proposals(qmodel, offsets, bit=6):
+    """(flat index, new byte value) pairs against the current file state."""
+    from repro.quant.bits import flip_bit
+
+    proposals = []
+    for offset in offsets:
+        index = int(offset) % qmodel.total_params
+        name, local = qmodel.locate(index)
+        current = qmodel.quantized(name).reshape(-1)[local]
+        proposals.append(
+            (index, int(flip_bit(np.array([current], dtype=np.int8), bit)[0]))
+        )
+    return proposals
+
+
+def _sequential_scores(engine, qmodel, proposals, batches):
+    """The reference loop: apply -> engine.forward per batch -> revert."""
+    per_batch = [[] for _ in batches]
+    for index, value in proposals:
+        name, local = qmodel.locate(index)
+        tensor = qmodel.quantized(name)
+        flat = tensor.reshape(-1)
+        previous = flat[local]
+        flat[local] = np.int8(value)
+        qmodel.set_quantized(name, flat.reshape(tensor.shape))
+        for bi, x in enumerate(batches):
+            per_batch[bi].append(engine.forward(x).copy())
+        flat[local] = previous
+        qmodel.set_quantized(name, flat.reshape(tensor.shape))
+    return [np.stack(outs) for outs in per_batch]
+
+
+@pytest.mark.parametrize(
+    "name,size",
+    [("tinycnn", 16), ("resnet20", 16), ("vgg11", 32)],
+)
+def test_zoo_batched_scoring_byte_identical(name, size):
+    model = build_model(name, num_classes=4, rng=0)
+    model.eval()
+    qmodel = QuantizedModel(model)
+    engine = EvalEngine(model)
+    clean = _images((4, 3, size, size), seed=0)
+    stamped = _images((4, 3, size, size), seed=1)
+    # Spread candidates across the weight file: early conv, middle, head.
+    total = qmodel.total_params
+    offsets = [0, total // 5, total // 3, total // 2, (2 * total) // 3, total - 1]
+    proposals = _flip_proposals(qmodel, offsets)
+
+    expected = _sequential_scores(engine, qmodel, proposals, [clean, stamped])
+    before = qmodel.flat_int8().copy()
+    got = engine.score_candidates(qmodel, proposals, (clean, stamped))
+    assert [g.tobytes() for g in got] == [e.tobytes() for e in expected]
+    assert got[0].shape == (len(proposals), 4, 4)
+    # The weight file is returned to its exact entry state.
+    assert np.array_equal(qmodel.flat_int8(), before)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    raw=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=10**9), st.integers(0, 7)),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_randomized_batched_proposals_stay_byte_identical(raw):
+    model = TinyCNN(rng=0)
+    model.eval()
+    qmodel = QuantizedModel(model)
+    engine = EvalEngine(model)
+    x = _images((3, 3, 16, 16))
+    proposals = _flip_proposals(
+        qmodel, [index for index, _ in raw], bit=raw[0][1]
+    )
+    expected = _sequential_scores(engine, qmodel, proposals, [x])
+    got = engine.score_candidates(qmodel, proposals, x)
+    assert got.tobytes() == expected[0].tobytes()
+
+
+def test_batched_scoring_empty_proposals(tiny_model, tiny_quantized):
+    tiny_model.eval()
+    engine = EvalEngine(tiny_model)
+    x = _images((2, 3, 16, 16))
+    out = engine.score_candidates(tiny_quantized, [], x)
+    assert out.shape == (0,)
+    clean, stamped = engine.score_candidates(tiny_quantized, [], (x, x))
+    assert clean.shape == (0,) and stamped.shape == (0,)
+
+
+def test_batched_scoring_rejects_training_mode(tiny_model, tiny_quantized):
+    tiny_model.train()
+    engine = EvalEngine(tiny_model)
+    proposals = _flip_proposals(tiny_quantized, [0])
+    with pytest.raises(ValueError, match="eval mode"):
+        engine.score_candidates(tiny_quantized, proposals, _images((2, 3, 16, 16)))
+
+
+def test_batched_scoring_exports_telemetry_counters(tiny_model, tiny_quantized):
+    tiny_model.eval()
+    x = _images((2, 3, 16, 16))
+    # Two stages touched (conv1 + fc), one of them the head (no suffix).
+    offsets = [0, 1, tiny_quantized.offset_of("fc.weight")]
+    with telemetry.isolated(enable=True) as (registry, _tracer):
+        engine = EvalEngine(tiny_model)
+        proposals = _flip_proposals(tiny_quantized, offsets)
+        engine.score_candidates(tiny_quantized, proposals, (x, x))
+        counters = registry.snapshot()["counters"]
+    assert counters["engine.batch.rounds"] == 1
+    assert counters["engine.batch.candidates"] == 3
+    assert counters["engine.batch.groups"] == 2
+    # conv1 group batches a suffix per image batch; the fc group is the head.
+    assert counters["engine.batch.suffix_forwards"] == 2
+
+
+def test_stage_index_of_maps_params_and_rejects_strangers(tiny_model):
+    from repro.nn.module import Parameter
+
+    plan = compile_plan(tiny_model)
+    names = dict(tiny_model.named_parameters())
+    stage_names = [stage.name for stage in plan.stages]
+    assert stage_names[plan.stage_index_of(names["conv1.weight"])] == "conv1"
+    assert stage_names[plan.stage_index_of(names["hidden.bias"])] == "hidden"
+    assert stage_names[plan.stage_index_of(names["fc.weight"])] == "fc"
+    with pytest.raises(ValueError, match="not read by any stage"):
+        plan.stage_index_of(Parameter(np.zeros(3, dtype=np.float32)))
+
+
+def test_batch_flag_toggles():
+    enable_batch()
+    assert batch_enabled()
+    disable_batch()
+    assert not batch_enabled()
+
+
+def test_attack_selects_identical_flips_with_batching_on_and_off(tmp_path, monkeypatch):
+    from repro.core.experiment import SCALE_PRESETS, run_single_experiment
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    scale = SCALE_PRESETS["micro"]
+    kwargs = dict(scale=scale, target_class=1, device="K1", seed=0)
+    enable_engine()
+    disable_batch()
+    row_sequential = run_single_experiment("CFT+BR", "tinycnn", **kwargs)
+    enable_batch()
+    row_batched = run_single_experiment("CFT+BR", "tinycnn", **kwargs)
+    assert json.dumps(row_sequential, sort_keys=True) == json.dumps(
+        row_batched, sort_keys=True
+    )
+
+
+# ---------------------------------------------------------------------------
 # End-to-end determinism: rows must not depend on the engine at all
 
 
@@ -342,8 +501,10 @@ def test_sweep_rows_identical_across_worker_counts_with_engine(tmp_path, monkeyp
     from repro.core.experiment import SCALE_PRESETS, run_method_comparison
 
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
-    monkeypatch.setenv("REPRO_ENGINE", "1")  # spawn workers re-read this
+    monkeypatch.setenv("REPRO_ENGINE", "1")  # spawn workers re-read these
+    monkeypatch.setenv("REPRO_ENGINE_BATCH", "1")
     enable_engine()
+    enable_batch()
     scale = SCALE_PRESETS["micro"]
     kwargs = dict(
         dataset="cifar10",

@@ -248,6 +248,50 @@ class TestRegressionGate:
         assert any(d.failed and d.kind == "span" for d in compare_reports(base, cand))
 
 
+class TestBenchTrend:
+    def _report(self, seconds=1.0, speedup=None):
+        report = {
+            "schema": telemetry.SCHEMA,
+            "counters": {},
+            "gauges": {},
+            "spans": {
+                "bench": {"count": 1, "total_seconds": seconds,
+                          "min_seconds": seconds, "max_seconds": seconds},
+                "bench/sub": {"count": 1, "total_seconds": 0.5,
+                              "min_seconds": 0.5, "max_seconds": 0.5},
+            },
+        }
+        if speedup is not None:
+            report["gauges"]["engine.batched_speedup"] = speedup
+        return report
+
+    def test_trend_table_lists_runs_in_order(self):
+        from repro.telemetry.regression import format_trend
+
+        table = format_trend(
+            [("baseline", self._report(1.0, 2.0)), ("run42", self._report(1.5, 2.5))]
+        )
+        assert "span.bench.seconds" in table
+        assert "gauge.engine.batched_speedup" in table
+        assert table.index("baseline") < table.index("run42")
+        assert "bench-trend: 2 run(s), informational only" in table
+        # Sub-spans stay out of the trend; the regression gate covers them.
+        assert "bench/sub" not in table
+
+    def test_trend_missing_metric_renders_na_and_never_raises(self):
+        from repro.telemetry.regression import format_trend
+
+        table = format_trend(
+            [("old", self._report(1.0)), ("new", self._report(1.0, 3.0))]
+        )
+        assert "n/a" in table
+
+    def test_trend_empty_input(self):
+        from repro.telemetry.regression import format_trend
+
+        assert format_trend([]) == "bench-trend: no reports"
+
+
 class TestPipelineIntegration:
     def test_enabled_training_records_epochs(self, tiny_model, tiny_dataset):
         from repro.core.training import TrainingConfig, train_model
