@@ -10,6 +10,9 @@ Usage (after ``pip install -e .``):
     python -m repro.cli bench-check benchmarks/BENCH_pipeline.json BENCH_pipeline.json
     python -m repro.cli bench-trend benchmarks/BENCH_pipeline.json BENCH_pipeline.*.json
     python -m repro.cli sweep --models resnet20 --devices K1,A1 --workers 4 --out rows.json
+    python -m repro.cli sweep --shard 0/2 --out s0.json --journal shard0.jsonl   # host A
+    python -m repro.cli sweep --shard 1/2 --out s1.json --journal shard1.jsonl   # host B
+    python -m repro.cli merge shard0.jsonl shard1.jsonl --out rows.json
     python -m repro.cli report flight.jsonl
     python -m repro.cli report rows.json.journal.jsonl --format json
 
@@ -23,6 +26,17 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+
+def _shard_type(text: str):
+    """argparse type for ``--shard i/n`` (validated ShardSpec)."""
+    from repro.errors import SweepError
+    from repro.parallel.grid import ShardSpec
+
+    try:
+        return ShardSpec.parse(text)
+    except SweepError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _cmd_devices(args: argparse.Namespace) -> int:
@@ -205,53 +219,141 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         resume=args.resume,
         max_attempts=args.max_attempts,
         backoff_seconds=args.backoff,
+        shard=args.shard,
     )
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(result.rows, handle, indent=2, sort_keys=True)
         handle.write("\n")
     if args.events:
-        lines = telemetry.dump_events(
-            args.events, meta={"command": "sweep", "grid_sha": result.grid_sha}
-        )
+        meta = {"command": "sweep", "grid_sha": result.grid_sha}
+        if args.shard is not None:
+            meta["shard"] = str(args.shard)
+        lines = telemetry.dump_events(args.events, meta=meta)
         print(f"wrote flight record ({lines} lines) to {args.events}")
     if not args.no_manifest:
         from repro.telemetry.manifest import (
             build_manifest,
             manifest_path_for,
+            sha256_file,
             write_manifest,
         )
 
         artifacts = {"rows": args.out, "journal": journal}
+        # Digest only the deterministic artifacts (rows, flight record) --
+        # the journal carries wall-clock durations, and pinning it would
+        # break the manifest's byte-reproducibility across re-runs.
+        digests = {"rows": sha256_file(args.out)}
         if args.events:
             artifacts["events"] = args.events
+            digests["events"] = sha256_file(args.events)
+        config = {
+            "methods": args.methods,
+            "models": args.models,
+            "devices": args.devices,
+            "dataset": args.dataset,
+            "target_class": args.target,
+            "scale": dataclasses.asdict(scale),
+            "max_attempts": args.max_attempts,
+        }
+        if args.shard is not None:
+            config["shard"] = str(args.shard)
         write_manifest(
             build_manifest(
                 "sweep",
-                config={
-                    "methods": args.methods,
-                    "models": args.models,
-                    "devices": args.devices,
-                    "dataset": args.dataset,
-                    "target_class": args.target,
-                    "scale": dataclasses.asdict(scale),
-                    "max_attempts": args.max_attempts,
-                },
+                config=config,
                 seeds=sorted({outcome.task.seed for outcome in result.outcomes}),
                 grid_sha=result.grid_sha,
                 artifacts=artifacts,
+                artifact_sha256=digests,
             ),
             manifest_path_for(journal),
         )
     print(format_sweep(result.rows))
+    shard_note = f", shard {args.shard} of {result.total_tasks}" if args.shard else ""
     print(
         f"sweep: {result.completed_count} completed, {result.resumed_count} resumed, "
-        f"{len(result.failures)} failed ({len(result.outcomes)} tasks, "
+        f"{len(result.failures)} failed ({len(result.outcomes)} tasks{shard_note}, "
         f"workers={args.workers}); rows -> {args.out}, journal -> {journal}"
     )
     for failure in result.failures:
         error = failure.error or {}
         print(
             f"  FAILED {failure.task.task_id} after {failure.attempts} attempt(s): "
+            f"{error.get('type')}: {error.get('message')}"
+        )
+    return 1 if result.failures else 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from repro.core.experiment import format_sweep
+    from repro.errors import MergeError
+    from repro.parallel.merge import (
+        merge_journals,
+        write_merged_events,
+        write_merged_journal,
+        write_merged_rows,
+    )
+
+    journal = args.journal or f"{args.out}.journal.jsonl"
+    try:
+        result = merge_journals(args.journals, allow_incomplete=args.allow_incomplete)
+        write_merged_rows(result, args.out)
+        write_merged_journal(result, journal)
+        if args.events:
+            lines = write_merged_events(result, args.events)
+            print(f"wrote merged flight record ({lines} lines) to {args.events}")
+    except MergeError as exc:
+        print(f"merge failed [{exc.cause}]: {exc}", file=sys.stderr)
+        for key, value in sorted(exc.details.items()):
+            print(f"  {key}: {value}", file=sys.stderr)
+        return 2
+    if not args.no_manifest:
+        from repro.telemetry.manifest import (
+            build_manifest,
+            manifest_path_for,
+            sha256_file,
+            write_manifest,
+        )
+
+        artifacts = {"rows": args.out, "journal": journal}
+        digests = {"rows": sha256_file(args.out)}
+        if args.events:
+            artifacts["events"] = args.events
+            digests["events"] = sha256_file(args.events)
+        # Deliberately free of shard-split details (how many journals, which
+        # paths): a 2-way and a 3-way split of the same sweep merge to
+        # byte-identical manifests, mirroring the row/event byte-identity.
+        write_manifest(
+            build_manifest(
+                "merge",
+                config={
+                    "allow_incomplete": args.allow_incomplete,
+                    "total_tasks": result.total_tasks,
+                    "merged_results": len(result.records),
+                    "failed_tasks": len(result.failures),
+                    "missing_tasks": result.missing_count,
+                },
+                seeds=result.seeds,
+                grid_sha=result.grid_sha,
+                artifacts=artifacts,
+                artifact_sha256=digests,
+            ),
+            manifest_path_for(args.out),
+        )
+    print(format_sweep(result.rows))
+    print(
+        f"merge: {len(result.shards)} shard journal(s), {len(result.records)} result(s) "
+        f"({len(result.failures)} failed, {result.missing_count} missing) of "
+        f"{result.total_tasks} grid task(s); rows -> {args.out}, journal -> {journal}"
+    )
+    if result.missing_shards:
+        print(f"  missing shard index(es): {result.missing_shards}")
+    for task_id in result.missing_task_ids:
+        print(f"  MISSING {task_id} (no journaled result)")
+    for task_id, record in result.failures:
+        error = record.get("error") or {}
+        print(
+            f"  FAILED {task_id} after {record.get('attempts', 1)} attempt(s): "
             f"{error.get('type')}: {error.get('message')}"
         )
     return 1 if result.failures else 0
@@ -413,6 +515,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--scale", choices=["micro", "tiny", "small", "full"],
                        help="experiment scale preset (default: REPRO_BENCH_SCALE)")
     sweep.add_argument("--workers", type=int, default=1, help="process-pool size")
+    sweep.add_argument("--shard", type=_shard_type, default=None, metavar="I/N",
+                       help="run only shard I of an N-way contiguous split of the "
+                            "canonical grid order (one journal per shard; reassemble "
+                            "with `repro merge`)")
     sweep.add_argument("--out", default="sweep_rows.json",
                        help="write the final result rows here as JSON")
     sweep.add_argument("--journal", help="JSONL checkpoint journal "
@@ -428,12 +534,34 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-manifest", action="store_true",
                        help="skip writing <journal>.manifest.json")
 
+    merge = sub.add_parser(
+        "merge",
+        help="validate shard journals and reassemble the grid-ordered sweep",
+    )
+    merge.add_argument("journals", nargs="+",
+                       help="shard journal JSONL files (any order)")
+    merge.add_argument("--out", default="merged_rows.json",
+                       help="write the grid-ordered rows here (byte-identical to "
+                            "the unsharded sweep's --out)")
+    merge.add_argument("--journal",
+                       help="write the reassembled merged journal here "
+                            "(default: <out>.journal.jsonl)")
+    merge.add_argument("--events",
+                       help="write the merged flight record here (requires the "
+                            "shards to have run with --events)")
+    merge.add_argument("--allow-incomplete", action="store_true",
+                       help="degrade missing shards/results into a grid-ordered "
+                            "partial merge with the gaps reported (SHA mismatches, "
+                            "duplicates and conflicts still fail)")
+    merge.add_argument("--no-manifest", action="store_true",
+                       help="skip writing <out>.manifest.json")
+
     report = sub.add_parser(
         "report",
         help="render a forensics report from a flight record or sweep journal",
     )
     report.add_argument("input", help="a *.events.jsonl flight record or a "
-                        "sweep *.journal.jsonl")
+                        "sweep/merged *.journal.jsonl")
     report.add_argument("--format", choices=["markdown", "json"], default="markdown")
     report.add_argument("--out", help="write the report here instead of stdout")
 
@@ -476,6 +604,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench-check": _cmd_bench_check,
         "bench-trend": _cmd_bench_trend,
         "sweep": _cmd_sweep,
+        "merge": _cmd_merge,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

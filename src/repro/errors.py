@@ -43,3 +43,42 @@ class DefenseError(ReproError):
 
 class SweepError(ReproError):
     """A parallel experiment sweep was misconfigured or failed permanently."""
+
+
+class MergeError(SweepError):
+    """Merging shard journals failed (or would silently lose data).
+
+    Carries a machine-readable ``cause`` slug plus a JSON-able ``details``
+    dict naming the offending journals, task IDs or grid SHAs, so callers
+    (and tests) can react to the specific failure instead of parsing the
+    message.  Causes:
+
+    - ``"no-journals"``          -- nothing to merge;
+    - ``"unreadable-journal"``   -- a named journal file does not exist;
+    - ``"missing-header"``       -- a journal has no (intact) header line;
+    - ``"missing-shard-metadata"`` -- a journal predates sharding (header
+      lacks ``shard_index``/``shard_count``/``shard_task_ids``);
+    - ``"sha-mismatch"``         -- journals were written for different grids;
+    - ``"shard-count-mismatch"`` -- journals disagree on the split's ``n``;
+    - ``"duplicate-shard"``      -- the same shard index appears twice;
+    - ``"duplicate-task"``       -- a task ID is claimed by several shards
+      (identical result rows);
+    - ``"conflicting-result"``   -- a duplicated task ID has *different*
+      result rows across journals;
+    - ``"foreign-result"``       -- a journal records a task outside its own
+      shard slice;
+    - ``"missing-shard"``        -- a shard index of the split has no journal
+      (degradable via ``allow_incomplete``);
+    - ``"incomplete-coverage"``  -- shard slices do not add up to the full
+      grid (degradable via ``allow_incomplete``);
+    - ``"missing-result"``       -- a shard journal covers a task but holds
+      no result for it, e.g. killed mid-sweep or a torn trailing line
+      (degradable via ``allow_incomplete``);
+    - ``"missing-events"``       -- a merged flight record was requested but
+      a result carries no event stream.
+    """
+
+    def __init__(self, cause: str, message: str, **details: object) -> None:
+        super().__init__(message)
+        self.cause = cause
+        self.details = details

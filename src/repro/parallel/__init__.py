@@ -3,17 +3,39 @@
 Reproducing a paper table is a grid of independent pipeline runs; this
 package shards such grids across a process pool with deterministic output
 (worker count never changes numbers), JSONL checkpoint/resume and
-structured failure handling.  See ``README.md`` ("Parallel sweeps").
+structured failure handling.  `ShardSpec`/`run_sweep(shard=...)` partition
+the same grid across *hosts* (one journal per shard), and
+:func:`merge_journals` reassembles shard journals into the byte-identical
+unsharded result.  See ``README.md`` ("Parallel sweeps").
 """
 
-from repro.parallel.grid import SweepGrid, SweepTask, ensure_unique, grid_sha_of
+from repro.parallel.grid import (
+    ShardSpec,
+    SweepGrid,
+    SweepTask,
+    ensure_unique,
+    grid_sha_of,
+)
 from repro.parallel.journal import JOURNAL_SCHEMA, JournalState, SweepJournal
+from repro.parallel.merge import (
+    MergeResult,
+    ShardView,
+    merge_journals,
+    merged_events,
+    merged_metrics,
+    write_merged_events,
+    write_merged_journal,
+    write_merged_rows,
+)
 from repro.parallel.runner import SweepResult, TaskOutcome, run_sweep
 from repro.parallel.worker import execute_task, initialize_worker, reset_worker_state
 
 __all__ = [
     "JOURNAL_SCHEMA",
     "JournalState",
+    "MergeResult",
+    "ShardSpec",
+    "ShardView",
     "SweepGrid",
     "SweepJournal",
     "SweepResult",
@@ -23,6 +45,12 @@ __all__ = [
     "execute_task",
     "grid_sha_of",
     "initialize_worker",
+    "merge_journals",
+    "merged_events",
+    "merged_metrics",
     "reset_worker_state",
     "run_sweep",
+    "write_merged_events",
+    "write_merged_journal",
+    "write_merged_rows",
 ]

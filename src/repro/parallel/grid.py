@@ -14,7 +14,7 @@ import dataclasses
 import hashlib
 import itertools
 import json
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import SweepError
 from repro.utils.rng import derive_seed
@@ -115,6 +115,79 @@ class SweepGrid:
     def grid_sha(self) -> str:
         """Content hash of the expanded grid (guards journal/grid mismatch)."""
         return grid_sha_of(self.expand())
+
+    def shard(self, index: int, count: int) -> List[SweepTask]:
+        """The ``index``-th of ``count`` contiguous slices of :meth:`expand`.
+
+        Shards partition the canonical grid order: they are disjoint,
+        jointly exhaustive, and concatenating them in index order
+        reproduces :meth:`expand` exactly.  This is what lets ``count``
+        hosts each run one shard and ``repro merge`` reassemble the full
+        sweep byte-for-byte.
+        """
+        return list(ShardSpec(index, count).slice(self.expand()))
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardSpec:
+    """One host's slice of a sweep: shard ``index`` of ``count``.
+
+    The partition is contiguous over the canonical grid order (the first
+    ``total % count`` shards get one extra task), so every shard's tasks
+    are consecutive in :meth:`SweepGrid.expand` order and the merged grid
+    is just the shards concatenated by index.
+    """
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise SweepError(f"shard count must be positive, got {self.count}")
+        if not 0 <= self.index < self.count:
+            raise SweepError(
+                f"shard index must satisfy 0 <= index < count, got {self.index}/{self.count}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "ShardSpec":
+        """Parse the CLI's ``i/n`` form (e.g. ``--shard 0/4``)."""
+        parts = str(text).split("/")
+        try:
+            index, count = (int(part) for part in parts)
+        except ValueError:
+            raise SweepError(f"shard spec must look like 'i/n', got {text!r}") from None
+        return cls(index, count)
+
+    @classmethod
+    def coerce(cls, value: "ShardLike") -> "ShardSpec":
+        """Accept a ShardSpec, an ``'i/n'`` string, or an ``(i, n)`` pair."""
+        if isinstance(value, ShardSpec):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        try:
+            index, count = value
+        except (TypeError, ValueError):
+            raise SweepError(f"cannot interpret {value!r} as a shard spec") from None
+        return cls(int(index), int(count))
+
+    def bounds(self, total: int) -> Tuple[int, int]:
+        """Half-open ``[start, end)`` slice of a ``total``-task grid."""
+        base, extra = divmod(total, self.count)
+        start = self.index * base + min(self.index, extra)
+        return start, start + base + (1 if self.index < extra else 0)
+
+    def slice(self, tasks: Sequence[SweepTask]) -> Tuple[SweepTask, ...]:
+        """This shard's tasks (possibly empty when ``count > len(tasks)``)."""
+        start, end = self.bounds(len(tasks))
+        return tuple(tasks[start:end])
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+
+ShardLike = Union["ShardSpec", str, Tuple[int, int], Iterable[int]]
 
 
 def grid_sha_of(tasks: Sequence[SweepTask]) -> str:

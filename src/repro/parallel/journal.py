@@ -3,8 +3,14 @@
 One line per event, appended and flushed as tasks finish, so a sweep killed
 at any point leaves a journal whose intact prefix is a valid checkpoint:
 
-- ``{"kind": "header", ...}``   -- grid identity (sha + task count), once;
-- ``{"kind": "result", ...}``   -- one per finished task (ok or failed);
+- ``{"kind": "header", ...}``   -- grid identity (sha + task count) plus the
+  shard this journal covers (``shard_index``/``shard_count`` and the
+  grid-ordered ``shard_task_ids`` slice; ``0``/``1``/all for an unsharded
+  run), once;
+- ``{"kind": "result", ...}``   -- one per finished task (ok or failed),
+  carrying the row and -- when captured -- the task's metrics, span tree
+  and flight-recorder events, so a shard journal is the *complete* output
+  ``repro merge`` needs to reassemble the sweep;
 - ``{"kind": "resume", ...}``   -- appended each time a sweep resumes.
 
 Loading tolerates a torn trailing line (the kill case) and skips malformed

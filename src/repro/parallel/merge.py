@@ -1,0 +1,416 @@
+"""Reassemble shard journals into one sweep: the ``repro merge`` machinery.
+
+A sharded sweep leaves one journal per host, each covering a contiguous
+slice of the canonical grid order and pinned to the *full* grid's content
+SHA (see :meth:`repro.parallel.grid.SweepGrid.shard`).  This module
+validates that a set of such journals really is one sweep -- same grid
+SHA, disjoint and jointly exhaustive slices, one result per covered task
+-- and reassembles the grid-ordered rows, the merged telemetry snapshot
+and the merged flight-recorder event stream.
+
+The determinism contract is the headline guarantee: for any ``n`` and any
+worker counts, ``merge(shards(0..n-1))`` is byte-identical to the
+equivalent unsharded :func:`repro.parallel.runner.run_sweep` -- sharding
+never changes row values, only who computes them.
+
+Every malformed-shard scenario (truncated journal, missing shard,
+duplicated task ID, mismatched grid SHA, ...) fails with a structured
+:class:`repro.errors.MergeError` naming the offending journals/tasks.
+``allow_incomplete=True`` degrades only the *coverage* failures
+(missing shard, missing result) into a grid-ordered partial merge with
+the gaps reported; trust failures (SHA mismatch, duplicates, conflicts)
+are never degradable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.errors import MergeError
+from repro.log import get_logger
+from repro.parallel.journal import SweepJournal
+from repro.telemetry.events import EventRecorder, write_events_jsonl
+from repro.telemetry.registry import MetricsRegistry
+
+PathLike = Union[str, Path]
+
+log = get_logger(__name__)
+
+_SHARD_HEADER_FIELDS = ("shard_index", "shard_count", "shard_task_ids")
+
+
+def _preview(items: Sequence[str], limit: int = 5) -> str:
+    shown = ", ".join(str(item) for item in list(items)[:limit])
+    extra = len(items) - limit
+    return shown + (f", ... (+{extra} more)" if extra > 0 else "")
+
+
+@dataclasses.dataclass
+class ShardView:
+    """Parsed view of one shard journal (header + final per-task records)."""
+
+    path: str
+    header: Dict[str, object]
+    records: Dict[str, Dict[str, object]]
+
+    @property
+    def grid_sha(self) -> str:
+        return str(self.header.get("grid_sha"))
+
+    @property
+    def shard_index(self) -> int:
+        return int(self.header["shard_index"])  # type: ignore[arg-type]
+
+    @property
+    def shard_count(self) -> int:
+        return int(self.header["shard_count"])  # type: ignore[arg-type]
+
+    @property
+    def total_tasks(self) -> int:
+        return int(self.header.get("total_tasks", 0))  # type: ignore[arg-type]
+
+    @property
+    def task_ids(self) -> List[str]:
+        return [str(tid) for tid in self.header["shard_task_ids"]]  # type: ignore[union-attr]
+
+
+@dataclasses.dataclass
+class MergeResult:
+    """A validated, grid-ordered reassembly of shard journals.
+
+    ``task_ids`` lists the covered tasks in canonical grid order (shards
+    concatenated by index); ``records`` holds each covered task's final
+    journal record.  ``missing_task_ids``/``missing_shards`` report the
+    gaps an ``allow_incomplete`` merge tolerated.
+    """
+
+    grid_sha: str
+    total_tasks: int
+    shards: List[ShardView]
+    task_ids: List[str]
+    records: Dict[str, Dict[str, object]]
+    missing_task_ids: List[str]
+    missing_shards: List[int]
+
+    @property
+    def rows(self) -> List[Dict[str, object]]:
+        """Successful result rows in grid order (same shape as a sweep's)."""
+        return [
+            self.records[tid]["row"]  # type: ignore[misc]
+            for tid in self.task_ids
+            if tid in self.records and self.records[tid].get("status") == "ok"
+        ]
+
+    @property
+    def failures(self) -> List[Tuple[str, Dict[str, object]]]:
+        """(task_id, record) for every task whose final record is a failure."""
+        return [
+            (tid, self.records[tid])
+            for tid in self.task_ids
+            if tid in self.records and self.records[tid].get("status") != "ok"
+        ]
+
+    @property
+    def missing_count(self) -> int:
+        """Tasks of the full grid with no result: torn/absent + whole shards."""
+        covered = sum(len(shard.task_ids) for shard in self.shards)
+        return len(self.missing_task_ids) + (self.total_tasks - covered)
+
+    @property
+    def seeds(self) -> List[int]:
+        """Sorted distinct seeds of the covered tasks (from their task IDs)."""
+        return sorted({int(tid.rsplit("seed=", 1)[1]) for tid in self.task_ids})
+
+
+def merge_journals(
+    paths: Sequence[PathLike], allow_incomplete: bool = False
+) -> MergeResult:
+    """Validate and reassemble shard journals; see the module docstring."""
+    if not paths:
+        raise MergeError("no-journals", "no shard journals to merge")
+
+    shards: List[ShardView] = []
+    for path in paths:
+        journal_path = Path(path)
+        if not journal_path.exists():
+            raise MergeError(
+                "unreadable-journal", f"{path}: no such journal", path=str(path)
+            )
+        state = SweepJournal.load(journal_path)
+        if state.header is None:
+            raise MergeError(
+                "missing-header",
+                f"{path}: journal has no intact header line",
+                path=str(path),
+            )
+        absent = [field for field in _SHARD_HEADER_FIELDS if field not in state.header]
+        if absent:
+            raise MergeError(
+                "missing-shard-metadata",
+                f"{path}: header lacks {absent} (journal predates sharding?)",
+                path=str(path),
+                fields=absent,
+            )
+        shards.append(ShardView(path=str(path), header=state.header, records=state.records))
+
+    shas = {shard.grid_sha for shard in shards}
+    if len(shas) > 1:
+        raise MergeError(
+            "sha-mismatch",
+            "journals were written for different grids: "
+            + ", ".join(f"{shard.path} sha={shard.grid_sha}" for shard in shards),
+            shas={shard.path: shard.grid_sha for shard in shards},
+        )
+    sha = shards[0].grid_sha
+    total = shards[0].total_tasks
+
+    counts = {shard.shard_count for shard in shards}
+    if len(counts) > 1:
+        raise MergeError(
+            "shard-count-mismatch",
+            "journals disagree on the split: "
+            + ", ".join(f"{shard.path}={shard.shard_index}/{shard.shard_count}"
+                        for shard in shards),
+            counts={shard.path: shard.shard_count for shard in shards},
+        )
+    count = shards[0].shard_count
+
+    by_index: Dict[int, ShardView] = {}
+    for shard in shards:
+        if not 0 <= shard.shard_index < count:
+            raise MergeError(
+                "shard-count-mismatch",
+                f"{shard.path}: shard index {shard.shard_index} out of range "
+                f"for a {count}-way split",
+                path=shard.path,
+                index=shard.shard_index,
+            )
+        if shard.shard_index in by_index:
+            raise MergeError(
+                "duplicate-shard",
+                f"shard {shard.shard_index}/{count} appears in both "
+                f"{by_index[shard.shard_index].path} and {shard.path}",
+                index=shard.shard_index,
+            )
+        by_index[shard.shard_index] = shard
+
+    claims: Dict[str, List[ShardView]] = {}
+    for shard in shards:
+        for tid in shard.task_ids:
+            claims.setdefault(tid, []).append(shard)
+    duplicated = {tid: owners for tid, owners in claims.items() if len(owners) > 1}
+    if duplicated:
+        conflicting = sorted(
+            tid
+            for tid, owners in duplicated.items()
+            if len({
+                json.dumps(owner.records.get(tid, {}).get("row"), sort_keys=True)
+                for owner in owners
+            }) > 1
+        )
+        if conflicting:
+            raise MergeError(
+                "conflicting-result",
+                f"{len(conflicting)} task(s) have conflicting results across "
+                f"journals: {_preview(conflicting)}",
+                task_ids=conflicting,
+            )
+        duplicates = sorted(duplicated)
+        raise MergeError(
+            "duplicate-task",
+            f"{len(duplicates)} task(s) are claimed by more than one shard: "
+            f"{_preview(duplicates)}",
+            task_ids=duplicates,
+        )
+
+    for shard in shards:
+        foreign = sorted(set(shard.records) - set(shard.task_ids))
+        if foreign:
+            raise MergeError(
+                "foreign-result",
+                f"{shard.path} records task(s) outside its shard slice: "
+                f"{_preview(foreign)}",
+                path=shard.path,
+                task_ids=foreign,
+            )
+
+    missing_shards = sorted(set(range(count)) - set(by_index))
+    if missing_shards:
+        if not allow_incomplete:
+            raise MergeError(
+                "missing-shard",
+                f"no journal for shard index(es) {missing_shards} of a "
+                f"{count}-way split; pass --allow-incomplete for a partial merge",
+                shard_indices=missing_shards,
+                shard_count=count,
+            )
+        log.warning(
+            "merging without shard(s) %s of %d: result will be partial",
+            missing_shards, count,
+        )
+
+    ordered = [by_index[index] for index in sorted(by_index)]
+    task_ids = [tid for shard in ordered for tid in shard.task_ids]
+    if not missing_shards and len(task_ids) != total:
+        if not allow_incomplete:
+            raise MergeError(
+                "incomplete-coverage",
+                f"shard slices cover {len(task_ids)} of {total} grid task(s)",
+                covered=len(task_ids),
+                total_tasks=total,
+            )
+        log.warning(
+            "shard slices cover only %d of %d grid task(s)", len(task_ids), total
+        )
+
+    missing_task_ids = [
+        tid for shard in ordered for tid in shard.task_ids
+        if tid not in shard.records
+    ]
+    if missing_task_ids and not allow_incomplete:
+        raise MergeError(
+            "missing-result",
+            f"{len(missing_task_ids)} covered task(s) have no journaled result "
+            f"(shard killed mid-sweep or torn lines?): {_preview(missing_task_ids)}",
+            task_ids=missing_task_ids,
+        )
+
+    records = {
+        tid: shard.records[tid]
+        for shard in ordered
+        for tid in shard.task_ids
+        if tid in shard.records
+    }
+    return MergeResult(
+        grid_sha=sha,
+        total_tasks=total,
+        shards=ordered,
+        task_ids=task_ids,
+        records=records,
+        missing_task_ids=missing_task_ids,
+        missing_shards=missing_shards,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Merged artifacts
+# ---------------------------------------------------------------------------
+def write_merged_rows(result: MergeResult, path: PathLike) -> Path:
+    """Write grid-ordered rows, byte-identical to ``repro sweep --out``."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result.rows, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def merged_events(result: MergeResult) -> EventRecorder:
+    """Renumber every task's journaled event stream in grid order.
+
+    Mirrors the parent-side :meth:`EventRecorder.attach` merge an unsharded
+    sweep performs, so the reassembled stream is identical to one recorded
+    in-process.  Raises ``MergeError("missing-events")`` when a successful
+    result carries no event stream (the shard ran without ``--events``).
+    """
+    recorder = EventRecorder()
+    for tid in result.task_ids:
+        record = result.records.get(tid)
+        if record is None or record.get("status") != "ok":
+            continue
+        events = record.get("events")
+        if events is None:
+            raise MergeError(
+                "missing-events",
+                f"result for {tid!r} carries no event stream "
+                "(was the shard run with --events?)",
+                task_id=tid,
+            )
+        recorder.attach(events)  # type: ignore[arg-type]
+    return recorder
+
+
+def write_merged_events(result: MergeResult, path: PathLike) -> int:
+    """Write the merged flight record; returns the number of lines.
+
+    The schema line's meta mirrors what the equivalent unsharded
+    ``repro sweep --events`` writes, keeping the merged record
+    byte-identical to it.
+    """
+    return write_events_jsonl(
+        merged_events(result), path,
+        meta={"command": "sweep", "grid_sha": result.grid_sha},
+    )
+
+
+def merged_metrics(result: MergeResult) -> Dict[str, object]:
+    """Replay the parent-side grid-order telemetry merge from the journals.
+
+    Returns ``{"counters", "gauges", "histogram_values"}`` exactly as the
+    unsharded parent registry would hold them, *except* the wall-clock
+    ``sweep.task_seconds`` histogram, which is inherently nondeterministic
+    and therefore excluded from the determinism contract.
+    """
+    registry = MetricsRegistry()
+    for tid in result.task_ids:
+        record = result.records.get(tid)
+        if record is None:
+            continue
+        registry.counter(f"sweep.tasks_{record.get('status')}").add(1)
+        attempts = int(record.get("attempts", 1))
+        if attempts > 1:
+            registry.counter("sweep.retries").add(attempts - 1)
+        metrics = record.get("metrics")
+        if metrics:
+            registry.merge_snapshot(
+                counters=metrics.get("counters"),
+                gauges=metrics.get("gauges"),
+                histogram_values=metrics.get("histogram_values"),
+            )
+    snapshot = registry.snapshot()
+    return {
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "histogram_values": registry.histogram_values(),
+    }
+
+
+def write_merged_journal(result: MergeResult, path: PathLike) -> Path:
+    """Write the reassembled journal: one header, grid-ordered records.
+
+    The merged journal is itself a valid (single-shard) sweep journal --
+    ``repro report`` renders it and ``repro merge`` accepts it again, where
+    an incomplete merge honestly re-reports its gaps.  ``merged_from``
+    records how many shard journals it was assembled from.
+    """
+    path = Path(path)
+    if path.exists():
+        path.unlink()
+    with SweepJournal(path) as journal:
+        journal.append_header(
+            grid_sha=result.grid_sha,
+            total_tasks=result.total_tasks,
+            shard_index=0,
+            shard_count=1,
+            shard_task_ids=result.task_ids,
+            merged_from=len(result.shards),
+        )
+        for tid in result.task_ids:
+            record = result.records.get(tid)
+            if record is not None:
+                journal.append(record)
+    return path
+
+
+__all__ = [
+    "MergeResult",
+    "ShardView",
+    "merge_journals",
+    "merged_events",
+    "merged_metrics",
+    "write_merged_events",
+    "write_merged_journal",
+    "write_merged_rows",
+]

@@ -14,6 +14,12 @@ across ``ProcessPoolExecutor`` workers.  Three guarantees:
   costs that task one attempt, the pool is rebuilt, and in-flight tasks are
   resubmitted -- the sweep finishes with a structured failure record
   instead of crashing.
+
+Multi-host scale-out layers on top of the same guarantees: ``shard=(i, n)``
+runs one contiguous slice of the canonical grid order against its own
+journal (header pinned to the *full* grid's SHA), and
+:mod:`repro.parallel.merge` reassembles any complete set of shard journals
+into the byte-identical unsharded result.
 """
 
 from __future__ import annotations
@@ -30,7 +36,14 @@ from repro import telemetry
 from repro.errors import SweepError
 from repro.log import get_logger
 from repro.parallel import worker
-from repro.parallel.grid import SweepGrid, SweepTask, ensure_unique, grid_sha_of
+from repro.parallel.grid import (
+    ShardLike,
+    ShardSpec,
+    SweepGrid,
+    SweepTask,
+    ensure_unique,
+    grid_sha_of,
+)
 from repro.parallel.journal import SweepJournal
 from repro.telemetry.spans import SpanRecord
 
@@ -56,11 +69,17 @@ class TaskOutcome:
 
 @dataclasses.dataclass
 class SweepResult:
-    """Everything a finished sweep produced, in grid order."""
+    """Everything a finished sweep (or one shard of it) produced, in grid order.
+
+    ``grid_sha`` and ``total_tasks`` always describe the *full* grid; for a
+    sharded run ``outcomes`` covers only this shard's contiguous slice.
+    """
 
     outcomes: List[TaskOutcome]
     grid_sha: str
     journal_path: Optional[str] = None
+    shard: Optional[ShardSpec] = None
+    total_tasks: int = 0
 
     @property
     def rows(self) -> List[Dict[str, object]]:
@@ -91,6 +110,7 @@ def run_sweep(
     capture_telemetry: Optional[bool] = None,
     capture_events: Optional[bool] = None,
     task_runner: TaskRunner = worker.execute_task,
+    shard: Optional[ShardLike] = None,
 ) -> SweepResult:
     """Run every grid task, fanned out over ``workers`` processes.
 
@@ -103,11 +123,21 @@ def run_sweep(
     :func:`repro.telemetry.events_enabled`; when on, every worker's flight
     record ships back and is renumbered into the parent recorder in grid
     order, so the merged stream is identical for any worker count.
+
+    ``shard`` restricts the run to one contiguous slice of the canonical
+    grid order (a :class:`~repro.parallel.grid.ShardSpec`, an ``'i/n'``
+    string, or an ``(i, n)`` pair): the grid SHA and journal header still
+    describe the *full* grid, so ``count`` hosts each running one shard
+    against their own journal can later be reassembled by
+    :func:`repro.parallel.merge.merge_journals` -- byte-identical to an
+    unsharded run.  Resume/retry semantics are unchanged within a shard.
     """
     if max_attempts < 1:
         raise SweepError(f"max_attempts must be positive, got {max_attempts}")
-    tasks = ensure_unique(grid.expand() if isinstance(grid, SweepGrid) else list(grid))
-    sha = grid_sha_of(tasks)
+    full_tasks = ensure_unique(grid.expand() if isinstance(grid, SweepGrid) else list(grid))
+    sha = grid_sha_of(full_tasks)
+    spec = ShardSpec.coerce(shard) if shard is not None else None
+    tasks = list(spec.slice(full_tasks)) if spec is not None else list(full_tasks)
     if capture_telemetry is None:
         capture_telemetry = telemetry.enabled()
     if capture_events is None:
@@ -125,14 +155,17 @@ def run_sweep(
     journal: Optional[SweepJournal] = None
     try:
         if journal_path is not None:
-            journal = _open_journal(journal_path, sha, tasks, resume, outcomes)
+            journal = _open_journal(
+                journal_path, sha, tasks, len(full_tasks), spec, resume, outcomes
+            )
         elif resume:
             raise SweepError("resume=True requires a journal_path to resume from")
 
         pending = [index for index in range(len(tasks)) if index not in outcomes]
         log.info(
-            "sweep %s: %d task(s), %d pending, workers=%d",
-            sha[:12], len(tasks), len(pending), workers,
+            "sweep %s%s: %d task(s), %d pending, workers=%d",
+            sha[:12], f" shard {spec}" if spec is not None else "",
+            len(tasks), len(pending), workers,
         )
 
         def finalize(index: int, attempt: int, outcome_dict: Dict[str, object]) -> None:
@@ -158,6 +191,16 @@ def run_sweep(
                 }
                 if outcome.status == "ok":
                     record["row"] = outcome.row
+                    # Ship telemetry through the journal too: a shard's
+                    # journal is its *complete* output, so `repro merge`
+                    # can rebuild the merged metrics snapshot and flight
+                    # record without talking to the host that ran it.
+                    if outcome.metrics is not None:
+                        record["metrics"] = outcome.metrics
+                    if outcome.spans is not None:
+                        record["spans"] = outcome.spans
+                    if outcome.events is not None:
+                        record["events"] = outcome.events
                 else:
                     record["error"] = outcome.error
                 journal.append(record)
@@ -184,7 +227,10 @@ def run_sweep(
     finally:
         if journal is not None:
             journal.close()
-    return SweepResult(outcomes=ordered, grid_sha=sha, journal_path=journal_path)
+    return SweepResult(
+        outcomes=ordered, grid_sha=sha, journal_path=journal_path,
+        shard=spec, total_tasks=len(full_tasks),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -192,6 +238,8 @@ def _open_journal(
     journal_path: str,
     sha: str,
     tasks: Sequence[SweepTask],
+    total_tasks: int,
+    spec: Optional[ShardSpec],
     resume: bool,
     outcomes: Dict[int, TaskOutcome],
 ) -> SweepJournal:
@@ -202,14 +250,31 @@ def _open_journal(
             f"journal {journal_path!r} already holds {len(state.records)} results; "
             "pass resume=True to continue it or point --journal elsewhere"
         )
-    if resume and state.header is not None and state.header.get("grid_sha") != sha:
-        raise SweepError(
-            f"journal {journal_path!r} was written for a different grid "
-            f"(sha {state.header.get('grid_sha')!r} != {sha!r})"
-        )
+    if state.header is not None:
+        # Fail fast on *any* reopen -- resume or not -- whose header
+        # disagrees with this run's grid: a mismatched journal would
+        # otherwise only surface at merge time.
+        if state.header.get("grid_sha") != sha:
+            raise SweepError(
+                f"journal {journal_path!r} was written for a different grid "
+                f"(journal sha {state.header.get('grid_sha')!r} != run sha {sha!r})"
+            )
+        header_shard = (state.header.get("shard_index"), state.header.get("shard_count"))
+        run_shard = (spec.index, spec.count) if spec is not None else (0, 1)
+        if header_shard[1] is not None and header_shard != run_shard:
+            raise SweepError(
+                f"journal {journal_path!r} was written for shard "
+                f"{header_shard[0]}/{header_shard[1]}, not {run_shard[0]}/{run_shard[1]}"
+            )
     journal = SweepJournal(journal_path).open()
     if state.header is None:
-        journal.append_header(grid_sha=sha, total_tasks=len(tasks))
+        journal.append_header(
+            grid_sha=sha,
+            total_tasks=total_tasks,
+            shard_index=spec.index if spec is not None else 0,
+            shard_count=spec.count if spec is not None else 1,
+            shard_task_ids=[task.task_id for task in tasks],
+        )
     if resume:
         completed = state.completed
         for index, task in enumerate(tasks):
@@ -222,6 +287,11 @@ def _open_journal(
                 attempts=int(record.get("attempts", 1)),
                 duration_seconds=float(record.get("duration_seconds", 0.0)),
                 row=record.get("row"),
+                # Restore journaled telemetry so a resumed shard's merged
+                # metrics/flight record still match a fresh run exactly.
+                metrics=record.get("metrics"),
+                spans=record.get("spans"),
+                events=record.get("events"),
             )
         if state.records:
             journal.append(

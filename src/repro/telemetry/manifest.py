@@ -14,6 +14,7 @@ artifact set as a whole stays reproducible.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import platform
 from pathlib import Path
@@ -32,6 +33,15 @@ def manifest_path_for(artifact: PathLike) -> Path:
     return artifact.with_name(artifact.name + ".manifest.json")
 
 
+def sha256_file(path: PathLike) -> str:
+    """Content SHA-256 of an artifact file (hex digest)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
 def _profile_dict(device: Optional[str]) -> Optional[Dict[str, object]]:
     if device is None:
         return None
@@ -48,6 +58,7 @@ def build_manifest(
     grid_sha: Optional[str] = None,
     artifacts: Optional[Dict[str, str]] = None,
     counters: Optional[Dict[str, float]] = None,
+    artifact_sha256: Optional[Dict[str, str]] = None,
 ) -> Dict[str, object]:
     """Assemble the manifest document for one run.
 
@@ -69,6 +80,12 @@ def build_manifest(
     counters:
         Deterministic run counters worth pinning to the artifact identity
         (e.g. the evaluation engine's ``engine.cache.*`` hit/miss totals).
+    artifact_sha256:
+        Logical artifact name -> content SHA-256 (:func:`sha256_file`) for
+        the *deterministic* sibling artifacts (rows, flight records --
+        never journals, whose wall-clock durations vary between runs).
+        This is what lets ``repro merge`` prove its output byte-identical
+        to the unsharded sweep it reassembles.
     """
     return {
         "schema": MANIFEST_SCHEMA,
@@ -82,6 +99,7 @@ def build_manifest(
         "grid_sha": grid_sha,
         "artifacts": dict(artifacts or {}),
         "counters": dict(counters or {}),
+        "artifact_sha256": dict(artifact_sha256 or {}),
     }
 
 

@@ -8,7 +8,9 @@ Two input shapes are understood, auto-detected from the first line:
   hammering outcomes and failure causes;
 - a **sweep journal** (``*.journal.jsonl``, written by
   :class:`repro.parallel.journal.SweepJournal`): per-task status, attempts
-  and structured failure causes for a whole grid.
+  and structured failure causes for a whole grid.  Shard journals
+  (``--shard i/n``) and ``repro merge`` outputs are auto-detected from the
+  header's shard metadata and rendered with their shard identity.
 
 Rendering is a pure function of the input file -- no clocks, no host
 information -- so repeated invocations are byte-identical, and a fixed-seed
@@ -346,6 +348,20 @@ def render_journal_markdown(analysis: Dict[str, object]) -> str:
     lines: List[str] = ["# Sweep journal report", ""]
     lines.append(f"- grid sha: `{_fmt(header.get('grid_sha'))}`")
     lines.append(f"- total tasks: {_fmt(header.get('total_tasks'))}")
+    # Shard identity (auto-detected): a shard journal covers one slice of
+    # the grid; a merged journal records how many shards it reassembled.
+    if header.get("merged_from") is not None:
+        lines.append(
+            f"- merged from {_fmt(header.get('merged_from'))} shard journal(s) "
+            f"({len(header.get('shard_task_ids') or ())} task(s) covered)"
+        )
+    elif int(header.get("shard_count") or 1) > 1:
+        lines.append(
+            f"- shard: {int(header.get('shard_index') or 0) + 1} of "
+            f"{_fmt(header.get('shard_count'))} "
+            f"({len(header.get('shard_task_ids') or ())} of "
+            f"{_fmt(header.get('total_tasks'))} tasks)"
+        )
     lines.append(f"- recorded results: {len(analysis['tasks'])}")
     for status, count in analysis["by_status"].items():
         lines.append(f"- {status}: {count}")

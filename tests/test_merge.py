@@ -1,0 +1,473 @@
+"""The determinism contract of multi-host sharding + ``repro merge``.
+
+Three layers, cheapest first:
+
+1. **Fake-runner byte identity**: for n in {1, 2, 3}, merging n shard
+   journals reproduces the unsharded sweep's rows, telemetry snapshot and
+   flight record byte-for-byte -- including after a shard is killed
+   mid-sweep and resumed.
+2. **Fault injection**: every malformed-shard scenario raises a
+   :class:`MergeError` with the documented machine-readable ``cause``, and
+   only the coverage failures degrade under ``allow_incomplete``.
+3. **CLI end-to-end** (tier-1 acceptance): the real micro-scale pipeline,
+   sharded n-ways through ``repro sweep --shard`` and reassembled with
+   ``repro merge``, is byte-identical to the unsharded run -- rows, flight
+   record and manifest digests alike.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import telemetry
+from repro.errors import MergeError
+from repro.parallel import (
+    SweepGrid,
+    SweepJournal,
+    SweepTask,
+    merge_journals,
+    merged_events,
+    merged_metrics,
+    run_sweep,
+    write_merged_events,
+    write_merged_journal,
+    write_merged_rows,
+)
+
+
+# ---------------------------------------------------------------------------
+# Fake task runners (module-level so pool tests could pickle them, and so
+# every test shares one deterministic row/metrics/events shape).
+def _rich_runner(payload):
+    """Deterministic full-width row plus metrics and a flight-record event."""
+    task = SweepTask.from_json(payload["task"])
+    value = float(task.seed * 10 + len(task.method))
+    return {
+        "status": "ok",
+        "row": {
+            "model": task.model, "device": task.device, "seed": task.seed,
+            "method": task.method, "offline_n_flip": value, "offline_ta": 90.0,
+            "offline_asr": 80.0, "online_n_flip": value, "online_ta": 88.0,
+            "online_asr": 79.0, "r_match": 100.0,
+        },
+        "duration_seconds": 0.01,
+        "metrics": {
+            "counters": {"worker.flips": value},
+            "gauges": {"worker.last_seed": float(task.seed)},
+            "histogram_values": {"worker.loss": [value / 100.0]},
+        },
+        "spans": [],
+        "events": [
+            {"seq": 0, "kind": "task.done", "span": "attack",
+             "data": {"task_id": task.task_id}},
+        ],
+    }
+
+
+def _plain_runner(payload):
+    """Rows only -- no metrics, no events (a shard run without --events)."""
+    outcome = _rich_runner(payload)
+    return {k: v for k, v in outcome.items() if k in ("status", "row", "duration_seconds")}
+
+
+def _grid(methods=("a", "b", "c"), seeds=(0, 1)):
+    return SweepGrid(methods=methods, models=("m",), devices=("K1",), seeds=seeds)
+
+
+def _make_shards(dirpath, grid, count, runner=_rich_runner):
+    """One journal per shard, exactly as ``count`` hosts would produce."""
+    dirpath = Path(dirpath)
+    dirpath.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for index in range(count):
+        path = dirpath / f"shard{index}.jsonl"
+        run_sweep(grid, workers=1, task_runner=runner, shard=(index, count),
+                  journal_path=str(path))
+        paths.append(path)
+    return paths
+
+
+def _edit_header(path, **changes):
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    header.update(changes)
+    lines[0] = json.dumps(header, sort_keys=True)
+    path.write_text("\n".join(lines) + "\n")
+
+
+def _record_line(path, task_id):
+    for line in path.read_text().splitlines():
+        event = json.loads(line)
+        if event.get("kind") == "result" and event.get("task_id") == task_id:
+            return line
+    raise AssertionError(f"no result for {task_id!r} in {path}")
+
+
+def _drop_record(path, task_id):
+    lines = [
+        line for line in path.read_text().splitlines()
+        if json.loads(line).get("task_id") != task_id
+    ]
+    path.write_text("\n".join(lines) + "\n")
+
+
+def _append_line(path, line):
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Byte identity: merge(shards(n)) == unsharded run, for n in {1, 2, 3}.
+def test_merge_rows_and_metrics_match_unsharded_run(tmp_path):
+    grid = _grid()
+    telemetry.enable()
+    telemetry.reset()
+    reference = run_sweep(grid, workers=1, task_runner=_rich_runner,
+                          capture_telemetry=True)
+    registry = telemetry.get_registry()
+    expected_rows = json.dumps(reference.rows, indent=2, sort_keys=True) + "\n"
+    expected_counters = registry.snapshot()["counters"]
+    expected_gauges = registry.snapshot()["gauges"]
+    # The wall-clock task-duration histogram is outside the contract.
+    expected_hist = {
+        name: values for name, values in registry.histogram_values().items()
+        if name != "sweep.task_seconds"
+    }
+
+    for count in (1, 2, 3):
+        result = merge_journals(_make_shards(tmp_path / f"n{count}", grid, count))
+        assert result.grid_sha == reference.grid_sha
+        assert result.total_tasks == len(grid.expand())
+        assert not result.missing_task_ids and not result.missing_shards
+        rows_path = write_merged_rows(result, tmp_path / f"rows{count}.json")
+        assert rows_path.read_text() == expected_rows
+        metrics = merged_metrics(result)
+        assert metrics["counters"] == expected_counters
+        assert metrics["gauges"] == expected_gauges
+        assert metrics["histogram_values"] == expected_hist
+
+
+def test_merged_events_match_the_in_process_flight_record(tmp_path):
+    grid = _grid()
+    telemetry.enable_events()
+    reference = run_sweep(grid, workers=1, task_runner=_rich_runner)
+    expected = tmp_path / "reference.events.jsonl"
+    telemetry.dump_events(
+        str(expected), meta={"command": "sweep", "grid_sha": reference.grid_sha}
+    )
+    for count in (1, 2, 3):
+        result = merge_journals(_make_shards(tmp_path / f"n{count}", grid, count))
+        merged_path = tmp_path / f"events{count}.jsonl"
+        write_merged_events(result, merged_path)
+        assert merged_path.read_bytes() == expected.read_bytes()
+
+
+def test_merge_tolerates_empty_shards_of_an_oversplit_grid(tmp_path):
+    grid = _grid(methods=("a", "b"), seeds=(0,))  # 2 tasks, 5 shards
+    result = merge_journals(_make_shards(tmp_path, grid, 5))
+    assert [row["method"] for row in result.rows] == ["a", "b"]
+    assert result.total_tasks == 2 and len(result.shards) == 5
+
+
+def test_killed_shard_resumes_and_merges_byte_identically(tmp_path):
+    grid = _grid()
+    reference = run_sweep(grid, workers=1, task_runner=_rich_runner)
+    expected_rows = json.dumps(reference.rows, indent=2, sort_keys=True) + "\n"
+    paths = _make_shards(tmp_path, grid, 2)
+
+    # Kill simulation: shard 0 keeps its header, first result and a torn line.
+    lines = paths[0].read_text().splitlines(True)
+    paths[0].write_text("".join(lines[:2]) + lines[2][: len(lines[2]) // 2])
+    with pytest.raises(MergeError) as exc:
+        merge_journals(paths)
+    assert exc.value.cause == "missing-result"
+
+    resumed = run_sweep(grid, workers=1, task_runner=_rich_runner, shard=(0, 2),
+                        journal_path=str(paths[0]), resume=True)
+    assert resumed.resumed_count == 1
+
+    result = merge_journals(paths)
+    rows_path = write_merged_rows(result, tmp_path / "rows.json")
+    assert rows_path.read_text() == expected_rows
+    # The resumed task's flight record came back from the journal, so the
+    # merged stream is still complete and in grid order.
+    events = merged_events(result)
+    assert [e.data["task_id"] for e in events.events] == result.task_ids
+
+
+def test_merged_journal_round_trips_through_merge_and_reports_gaps(tmp_path):
+    grid = _grid()
+    paths = _make_shards(tmp_path, grid, 3)
+    result = merge_journals(paths)
+    merged = write_merged_journal(result, tmp_path / "merged.jsonl")
+
+    header = SweepJournal.load(merged).header
+    assert (header["shard_index"], header["shard_count"]) == (0, 1)
+    assert header["merged_from"] == 3
+    again = merge_journals([merged])
+    assert again.rows == result.rows and again.grid_sha == result.grid_sha
+
+    # A *partial* merged journal honestly re-reports its coverage gap.
+    partial = merge_journals(paths[:-1], allow_incomplete=True)
+    partial_path = write_merged_journal(partial, tmp_path / "partial.jsonl")
+    with pytest.raises(MergeError) as exc:
+        merge_journals([partial_path])
+    assert exc.value.cause == "incomplete-coverage"
+    reread = merge_journals([partial_path], allow_incomplete=True)
+    assert reread.rows == partial.rows
+
+
+# ---------------------------------------------------------------------------
+# Fault injection: every malformed-shard scenario, by structured cause.
+def test_merge_rejects_empty_and_unreadable_inputs(tmp_path):
+    with pytest.raises(MergeError) as exc:
+        merge_journals([])
+    assert exc.value.cause == "no-journals"
+    with pytest.raises(MergeError) as exc:
+        merge_journals([tmp_path / "absent.jsonl"])
+    assert exc.value.cause == "unreadable-journal"
+    assert exc.value.details["path"].endswith("absent.jsonl")
+
+
+def test_merge_rejects_journal_without_header(tmp_path):
+    path = tmp_path / "headless.jsonl"
+    path.write_text('{"kind": "result", "task_id": "t", "status": "ok", "row": {}}\n')
+    with pytest.raises(MergeError) as exc:
+        merge_journals([path])
+    assert exc.value.cause == "missing-header"
+
+
+def test_merge_rejects_pre_sharding_journal(tmp_path):
+    path = tmp_path / "old.jsonl"
+    with SweepJournal(path) as journal:
+        journal.append_header(grid_sha="abc", total_tasks=1)  # no shard fields
+    with pytest.raises(MergeError) as exc:
+        merge_journals([path])
+    assert exc.value.cause == "missing-shard-metadata"
+    assert "shard_index" in exc.value.details["fields"]
+
+
+def test_merge_rejects_mismatched_grid_shas(tmp_path):
+    grid_a, grid_b = _grid(), _grid(methods=("x", "y", "z"))
+    s0 = _make_shards(tmp_path / "a", grid_a, 2)[0]
+    s1 = _make_shards(tmp_path / "b", grid_b, 2)[1]
+    with pytest.raises(MergeError) as exc:
+        merge_journals([s0, s1])
+    assert exc.value.cause == "sha-mismatch"
+    # The error names both offending SHAs.
+    assert grid_a.grid_sha() in str(exc.value) and grid_b.grid_sha() in str(exc.value)
+
+
+def test_merge_rejects_disagreeing_shard_counts(tmp_path):
+    grid = _grid()
+    s0 = _make_shards(tmp_path / "two", grid, 2)[0]
+    s1 = _make_shards(tmp_path / "three", grid, 3)[1]
+    with pytest.raises(MergeError) as exc:
+        merge_journals([s0, s1])
+    assert exc.value.cause == "shard-count-mismatch"
+
+
+def test_merge_rejects_duplicate_shard(tmp_path):
+    paths = _make_shards(tmp_path, _grid(), 2)
+    with pytest.raises(MergeError) as exc:
+        merge_journals([paths[0], paths[0]])
+    assert exc.value.cause == "duplicate-shard"
+    assert exc.value.details["index"] == 0
+
+
+def test_merge_rejects_task_claimed_by_two_shards(tmp_path):
+    grid = _grid()
+    paths = _make_shards(tmp_path, grid, 2)
+    stolen = grid.shard(0, 2)[-1].task_id
+    own = [t.task_id for t in grid.shard(1, 2)]
+    _edit_header(paths[1], shard_task_ids=[stolen] + own)
+    _append_line(paths[1], _record_line(paths[0], stolen))  # identical row
+    with pytest.raises(MergeError) as exc:
+        merge_journals(paths)
+    assert exc.value.cause == "duplicate-task"
+    assert exc.value.details["task_ids"] == [stolen]
+
+
+def test_merge_rejects_conflicting_results_for_one_task(tmp_path):
+    grid = _grid()
+    paths = _make_shards(tmp_path, grid, 2)
+    stolen = grid.shard(0, 2)[-1].task_id
+    own = [t.task_id for t in grid.shard(1, 2)]
+    _edit_header(paths[1], shard_task_ids=[stolen] + own)
+    record = json.loads(_record_line(paths[0], stolen))
+    record["row"]["offline_n_flip"] += 1.0  # same task, different answer
+    _append_line(paths[1], json.dumps(record, sort_keys=True))
+    with pytest.raises(MergeError) as exc:
+        merge_journals(paths)
+    assert exc.value.cause == "conflicting-result"
+    assert exc.value.details["task_ids"] == [stolen]
+
+
+def test_merge_rejects_result_outside_the_shard_slice(tmp_path):
+    grid = _grid()
+    paths = _make_shards(tmp_path, grid, 2)
+    foreign = grid.shard(1, 2)[0].task_id
+    _append_line(paths[0], _record_line(paths[1], foreign))
+    with pytest.raises(MergeError) as exc:
+        merge_journals(paths)
+    assert exc.value.cause == "foreign-result"
+    assert exc.value.details["task_ids"] == [foreign]
+
+
+def test_merge_missing_shard_degrades_only_with_allow_incomplete(tmp_path):
+    grid = _grid()
+    reference = run_sweep(grid, workers=1, task_runner=_rich_runner)
+    paths = _make_shards(tmp_path, grid, 3)
+    kept = [paths[0], paths[2]]  # shard 1 never reported back
+    with pytest.raises(MergeError) as exc:
+        merge_journals(kept)
+    assert exc.value.cause == "missing-shard"
+    assert exc.value.details["shard_indices"] == [1]
+
+    partial = merge_journals(kept, allow_incomplete=True)
+    assert partial.missing_shards == [1]
+    surviving = [t.task_id for t in grid.shard(0, 3) + grid.shard(2, 3)]
+    assert partial.task_ids == surviving  # still grid-ordered
+    assert partial.rows == [
+        outcome.row for outcome in reference.outcomes
+        if outcome.task.task_id in surviving
+    ]
+    assert partial.missing_count == len(grid.shard(1, 3))
+
+
+def test_merge_truncated_journal_degrades_only_with_allow_incomplete(tmp_path):
+    grid = _grid()
+    reference = run_sweep(grid, workers=1, task_runner=_rich_runner)
+    paths = _make_shards(tmp_path, grid, 2)
+    lost = grid.shard(1, 2)[-1].task_id
+    _drop_record(paths[1], lost)  # the kill ate the last checkpoint line
+    with pytest.raises(MergeError) as exc:
+        merge_journals(paths)
+    assert exc.value.cause == "missing-result"
+    assert exc.value.details["task_ids"] == [lost]
+
+    partial = merge_journals(paths, allow_incomplete=True)
+    assert partial.missing_task_ids == [lost]
+    assert partial.missing_count == 1
+    assert partial.rows == reference.rows[:-1]
+
+
+def test_merge_incomplete_slice_coverage_degrades_only_with_allow_incomplete(tmp_path):
+    grid = _grid()
+    paths = _make_shards(tmp_path, grid, 2)
+    dropped = grid.shard(1, 2)[-1].task_id
+    kept_ids = [t.task_id for t in grid.shard(1, 2)][:-1]
+    _edit_header(paths[1], shard_task_ids=kept_ids)
+    _drop_record(paths[1], dropped)
+    with pytest.raises(MergeError) as exc:
+        merge_journals(paths)
+    assert exc.value.cause == "incomplete-coverage"
+    partial = merge_journals(paths, allow_incomplete=True)
+    assert dropped not in partial.task_ids
+    assert len(partial.rows) == len(grid.expand()) - 1
+
+
+def test_merged_events_require_shards_run_with_events(tmp_path):
+    result = merge_journals(_make_shards(tmp_path, _grid(), 2, runner=_plain_runner))
+    assert result.rows  # rows merge fine without event streams
+    with pytest.raises(MergeError) as exc:
+        merged_events(result)
+    assert exc.value.cause == "missing-events"
+
+
+# ---------------------------------------------------------------------------
+# The merge CLI on fake journals (fast) and the report's shard identity.
+def test_cli_merge_reports_structured_failure_and_degrades(tmp_path, capsys):
+    from repro.cli import main
+
+    grid = _grid()
+    paths = _make_shards(tmp_path, grid, 2)
+    out = tmp_path / "rows.json"
+    argv = [str(paths[0]), "--out", str(out),
+            "--journal", str(tmp_path / "merged.jsonl")]
+
+    assert main(["merge"] + argv) == 2
+    err = capsys.readouterr().err
+    assert "merge failed [missing-shard]" in err and "shard_indices" in err
+
+    assert main(["merge"] + argv + ["--allow-incomplete", "--no-manifest"]) == 0
+    rows = json.loads(out.read_text())
+    assert [row["method"] for row in rows] == [t.method for t in grid.shard(0, 2)]
+
+
+def test_report_renders_shard_and_merged_identity(tmp_path):
+    from repro.telemetry.report import render_report
+
+    grid = _grid()
+    paths = _make_shards(tmp_path, grid, 2)
+    shard_report = render_report(str(paths[1]))
+    assert "shard: 2 of 2" in shard_report
+
+    merged = write_merged_journal(merge_journals(paths), tmp_path / "merged.jsonl")
+    merged_report = render_report(str(merged))
+    assert "merged from 2 shard journal(s)" in merged_report
+
+
+# ---------------------------------------------------------------------------
+# Tier-1 acceptance: the real micro-scale pipeline, sharded over the CLI.
+def test_cli_shard_merge_is_byte_identical_to_unsharded_sweep(tmp_path, monkeypatch):
+    """``merge(shards(1..n)) == run_sweep`` for the real pipeline: rows,
+    flight record and manifest digests, for n in {1, 2, 3} -- and the merge
+    manifest itself is identical regardless of how the sweep was split."""
+    from repro.cli import main
+    from repro.telemetry.manifest import manifest_path_for, read_manifest
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    argv = [
+        "sweep", "--methods", "CFT,CFT+BR", "--models", "tinycnn",
+        "--devices", "K1,A1", "--target", "1", "--scale", "micro",
+        "--workers", "1",
+    ]
+    ref_rows = tmp_path / "ref.json"
+    ref_events = tmp_path / "ref.events.jsonl"
+    assert main(argv + ["--out", str(ref_rows), "--events", str(ref_events)]) == 0
+    ref_manifest = read_manifest(
+        manifest_path_for(ref_rows.with_name(ref_rows.name + ".journal.jsonl"))
+    )
+
+    merged_rows = tmp_path / "merged.json"
+    merged_events_path = tmp_path / "merged.events.jsonl"
+    merged_journal = tmp_path / "merged.journal.jsonl"
+    manifest_bytes = None
+    for count in (1, 2, 3):
+        shard_dir = tmp_path / f"n{count}"
+        shard_dir.mkdir()
+        journals = []
+        for index in range(count):
+            journal = shard_dir / f"shard{index}.jsonl"
+            assert main(argv + [
+                "--shard", f"{index}/{count}",
+                "--out", str(shard_dir / f"rows{index}.json"),
+                "--events", str(shard_dir / f"events{index}.jsonl"),
+                "--journal", str(journal),
+            ]) == 0
+            journals.append(str(journal))
+        assert main(["merge"] + journals + [
+            "--out", str(merged_rows),
+            "--events", str(merged_events_path),
+            "--journal", str(merged_journal),
+        ]) == 0
+
+        assert merged_rows.read_bytes() == ref_rows.read_bytes()
+        assert merged_events_path.read_bytes() == ref_events.read_bytes()
+        manifest_path = manifest_path_for(merged_rows)
+        merge_manifest = read_manifest(manifest_path)
+        # Digest equality is the manifest-level proof of the byte identity,
+        # and it ties the merged artifacts to the unsharded sweep's.
+        assert (merge_manifest["artifact_sha256"]["rows"]
+                == ref_manifest["artifact_sha256"]["rows"])
+        assert (merge_manifest["artifact_sha256"]["events"]
+                == ref_manifest["artifact_sha256"]["events"])
+        assert merge_manifest["grid_sha"] == ref_manifest["grid_sha"]
+        # Any n-way split merges to the same manifest, byte for byte.
+        if manifest_bytes is None:
+            manifest_bytes = manifest_path.read_bytes()
+        assert manifest_path.read_bytes() == manifest_bytes

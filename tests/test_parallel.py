@@ -238,6 +238,35 @@ def test_run_sweep_refuses_resume_for_different_grid(tmp_path):
                   resume=True, task_runner=_ok_runner)
 
 
+def test_run_sweep_grid_sha_check_fails_fast_even_without_resume(tmp_path):
+    """A header-only journal (no results yet) written for another grid is
+    rejected at open time -- naming both SHAs -- instead of surfacing the
+    mismatch at merge time."""
+    journal = tmp_path / "sweep.jsonl"
+    other = _grid(methods=("x", "y"))
+    with SweepJournal(journal) as handle:
+        handle.append_header(grid_sha=other.grid_sha(), total_tasks=2,
+                             shard_index=0, shard_count=1,
+                             shard_task_ids=[t.task_id for t in other.expand()])
+    with pytest.raises(SweepError) as exc:
+        run_sweep(_grid(), workers=1, journal_path=str(journal), task_runner=_ok_runner)
+    assert other.grid_sha() in str(exc.value)
+    assert _grid().grid_sha() in str(exc.value)
+
+
+def test_run_sweep_refuses_resume_under_a_different_shard_spec(tmp_path):
+    journal = str(tmp_path / "shard.jsonl")
+    grid = _grid(methods=("a", "b", "c"))
+    run_sweep(grid, workers=1, journal_path=journal, task_runner=_ok_runner,
+              shard="0/2")
+    with pytest.raises(SweepError, match=r"shard 0/2, not 1/2"):
+        run_sweep(grid, workers=1, journal_path=journal, resume=True,
+                  task_runner=_ok_runner, shard="1/2")
+    with pytest.raises(SweepError, match=r"shard 0/2, not 0/1"):
+        run_sweep(grid, workers=1, journal_path=journal, resume=True,
+                  task_runner=_ok_runner)
+
+
 def test_run_sweep_merges_worker_telemetry_in_grid_order():
     telemetry.enable()
     telemetry.reset()
