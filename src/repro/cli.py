@@ -13,6 +13,9 @@ Usage (after ``pip install -e .``):
     python -m repro.cli sweep --shard 0/2 --out s0.json --journal shard0.jsonl   # host A
     python -m repro.cli sweep --shard 1/2 --out s1.json --journal shard1.jsonl   # host B
     python -m repro.cli merge shard0.jsonl shard1.jsonl --out rows.json
+    python -m repro.cli sweep --queue /shared/q --out w.json    # any number of hosts
+    python -m repro.cli queue-status /shared/q
+    python -m repro.cli merge /shared/q --out rows.json
     python -m repro.cli report flight.jsonl
     python -m repro.cli report rows.json.journal.jsonl --format json
 
@@ -184,6 +187,73 @@ def _cmd_bench_trend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_queue_sweep(args: argparse.Namespace, grid) -> int:
+    """``repro sweep --queue DIR``: work the shared queue as one worker.
+
+    Per-worker output differs from a plain sweep on purpose: ``--out``
+    holds only the rows *this* worker committed, ``--events`` holds the
+    scheduler's decision log (claims, steals, commits) rather than a task
+    flight record, and no manifest is written -- the deterministic
+    artifacts of a queue-scheduled sweep are the ones ``repro merge``
+    produces from every worker's journal.
+    """
+    import json
+
+    from repro import telemetry
+    from repro.core.experiment import format_sweep
+    from repro.errors import SweepError
+    from repro.parallel.scheduler import init_queue, run_queue
+
+    if args.shard is not None or args.resume:
+        print("sweep: --queue is incompatible with --shard/--resume "
+              "(queue workers claim tasks dynamically; a restarted worker "
+              "just reattaches to the queue directory)", file=sys.stderr)
+        return 2
+    if args.workers != 1:
+        print("sweep: --queue workers run tasks inline; start more "
+              "`repro sweep --queue` processes instead of --workers",
+              file=sys.stderr)
+        return 2
+    if args.events:
+        telemetry.enable_events()
+        telemetry.get_recorder().reset()
+    try:
+        init_queue(args.queue, grid, lease_ttl=args.lease_ttl)
+        result = run_queue(
+            args.queue,
+            worker_id=args.worker_id,
+            max_attempts=args.max_attempts,
+            backoff_seconds=args.backoff,
+        )
+    except SweepError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(result.rows, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    if args.events:
+        lines = telemetry.dump_events(
+            args.events,
+            meta={"command": "sweep", "schedule": "queue", "worker": result.worker},
+        )
+        print(f"wrote scheduler decision log ({lines} lines) to {args.events}")
+    print(format_sweep(result.rows))
+    print(
+        f"queue worker {result.worker}: {len(result.outcomes)} committed of "
+        f"{result.total_tasks} grid task(s) ({result.claims} claim(s), "
+        f"{result.steals} steal(s), {result.superseded} superseded, "
+        f"{len(result.failures)} failed); rows -> {args.out}, "
+        f"journal -> {result.journal_path}"
+    )
+    for failure in result.failures:
+        error = failure.error or {}
+        print(
+            f"  FAILED {failure.task.task_id} after {failure.attempts} attempt(s): "
+            f"{error.get('type')}: {error.get('message')}"
+        )
+    return 1 if result.failures else 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import dataclasses
     import json
@@ -192,11 +262,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core.experiment import SCALE_PRESETS, ExperimentScale, format_sweep
     from repro.parallel import SweepGrid, run_sweep
 
-    if args.events:
-        telemetry.enable_events()
-        # Fresh flight record per invocation (repeated main() calls share
-        # the process-wide recorder).
-        telemetry.get_recorder().reset()
     scale = SCALE_PRESETS[args.scale] if args.scale else ExperimentScale.from_env()
     grid_kwargs = dict(
         methods=tuple(args.methods.split(",")),
@@ -211,6 +276,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     else:
         grid = SweepGrid(seeds=tuple(int(s) for s in args.seeds.split(",")), **grid_kwargs)
 
+    if args.queue is not None:
+        return _cmd_queue_sweep(args, grid)
+    if args.events:
+        telemetry.enable_events()
+        # Fresh flight record per invocation (repeated main() calls share
+        # the process-wide recorder).
+        telemetry.get_recorder().reset()
     journal = args.journal or f"{args.out}.journal.jsonl"
     result = run_sweep(
         grid,
@@ -284,6 +356,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if result.failures else 0
 
 
+def _cmd_queue_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import SweepError
+    from repro.parallel.scheduler import queue_status
+
+    try:
+        status = queue_status(args.queue)
+    except SweepError as exc:
+        print(f"queue-status failed: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(status.to_json(), indent=2, sort_keys=True))
+    else:
+        print(f"queue {args.queue} (grid {status.grid_sha[:12]}):")
+        print(f"  done:    {status.done}/{status.total_tasks}")
+        print(f"  leased:  {status.leased} ({status.expired} expired/stealable)")
+        print(f"  open:    {status.open_tasks}")
+        print(f"  workers: {', '.join(status.workers) or '(none yet)'}")
+    return 0 if status.complete else 1
+
+
+def _expand_journal_args(paths):
+    """Expand queue-directory arguments to their per-worker journal files."""
+    from pathlib import Path
+
+    expanded = []
+    for path in paths:
+        candidate = Path(path)
+        if candidate.is_dir():
+            inner = candidate / "journals" if (candidate / "journals").is_dir() else candidate
+            expanded.extend(str(p) for p in sorted(inner.glob("*.jsonl")))
+        else:
+            expanded.append(path)
+    return expanded
+
+
 def _cmd_merge(args: argparse.Namespace) -> int:
     from repro.core.experiment import format_sweep
     from repro.errors import MergeError
@@ -296,7 +405,9 @@ def _cmd_merge(args: argparse.Namespace) -> int:
 
     journal = args.journal or f"{args.out}.journal.jsonl"
     try:
-        result = merge_journals(args.journals, allow_incomplete=args.allow_incomplete)
+        result = merge_journals(
+            _expand_journal_args(args.journals), allow_incomplete=args.allow_incomplete
+        )
         write_merged_rows(result, args.out)
         write_merged_journal(result, journal)
         if args.events:
@@ -342,10 +453,13 @@ def _cmd_merge(args: argparse.Namespace) -> int:
         )
     print(format_sweep(result.rows))
     print(
-        f"merge: {len(result.shards)} shard journal(s), {len(result.records)} result(s) "
+        f"merge: {len(result.shards)} {result.schedule} journal(s), "
+        f"{len(result.records)} result(s) "
         f"({len(result.failures)} failed, {result.missing_count} missing) of "
         f"{result.total_tasks} grid task(s); rows -> {args.out}, journal -> {journal}"
     )
+    if result.workers:
+        print(f"  queue workers: {', '.join(result.workers)}")
     if result.missing_shards:
         print(f"  missing shard index(es): {result.missing_shards}")
     for task_id in result.missing_task_ids:
@@ -519,6 +633,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run only shard I of an N-way contiguous split of the "
                             "canonical grid order (one journal per shard; reassemble "
                             "with `repro merge`)")
+    sweep.add_argument("--queue", metavar="DIR", default=None,
+                       help="work-stealing mode: claim tasks from this shared queue "
+                            "directory (created on first use) instead of a static "
+                            "shard; start one such process per host and reassemble "
+                            "with `repro merge DIR` (incompatible with --shard/"
+                            "--resume/--workers; no manifest is written)")
+    sweep.add_argument("--worker-id", default=None,
+                       help="queue mode: stable worker identity for leases and the "
+                            "per-worker journal (default: <hostname>-<pid>)")
+    sweep.add_argument("--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+                       help="queue mode: lease time-to-live; a worker silent this "
+                            "long is presumed dead and its task is stolen "
+                            "(default 30)")
     sweep.add_argument("--out", default="sweep_rows.json",
                        help="write the final result rows here as JSON")
     sweep.add_argument("--journal", help="JSONL checkpoint journal "
@@ -534,12 +661,23 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-manifest", action="store_true",
                        help="skip writing <journal>.manifest.json")
 
+    status = sub.add_parser(
+        "queue-status",
+        help="inspect a queue directory: done/leased/open counts per worker "
+             "(exit 0 when the queue is fully drained, 1 otherwise)",
+    )
+    status.add_argument("queue", help="queue directory (as passed to sweep --queue)")
+    status.add_argument("--json", action="store_true",
+                        help="print the snapshot as JSON instead of text")
+
     merge = sub.add_parser(
         "merge",
-        help="validate shard journals and reassemble the grid-ordered sweep",
+        help="validate per-host sweep journals (shard or queue mode) and "
+             "reassemble the grid-ordered sweep",
     )
     merge.add_argument("journals", nargs="+",
-                       help="shard journal JSONL files (any order)")
+                       help="journal JSONL files in any order -- or a queue "
+                            "directory, which expands to its journals/*.jsonl")
     merge.add_argument("--out", default="merged_rows.json",
                        help="write the grid-ordered rows here (byte-identical to "
                             "the unsharded sweep's --out)")
@@ -604,6 +742,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench-check": _cmd_bench_check,
         "bench-trend": _cmd_bench_trend,
         "sweep": _cmd_sweep,
+        "queue-status": _cmd_queue_status,
         "merge": _cmd_merge,
         "report": _cmd_report,
     }

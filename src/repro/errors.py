@@ -46,34 +46,45 @@ class SweepError(ReproError):
 
 
 class MergeError(SweepError):
-    """Merging shard journals failed (or would silently lose data).
+    """Merging sweep journals failed (or would silently lose data).
 
     Carries a machine-readable ``cause`` slug plus a JSON-able ``details``
     dict naming the offending journals, task IDs or grid SHAs, so callers
     (and tests) can react to the specific failure instead of parsing the
-    message.  Causes:
+    message.  Every cause is registered in :data:`MERGE_ERROR_CAUSES` and
+    documented in the README troubleshooting table (``tools/check_docs.py``
+    enforces both).  Causes:
 
     - ``"no-journals"``          -- nothing to merge;
     - ``"unreadable-journal"``   -- a named journal file does not exist;
     - ``"missing-header"``       -- a journal has no (intact) header line;
-    - ``"missing-shard-metadata"`` -- a journal predates sharding (header
-      lacks ``shard_index``/``shard_count``/``shard_task_ids``);
+    - ``"mixed-schedule"``       -- shard-mode and queue-mode journals were
+      passed to one merge (they describe different runs);
+    - ``"missing-shard-metadata"`` -- a shard journal predates sharding
+      (header lacks ``shard_index``/``shard_count``/``shard_task_ids``);
+    - ``"missing-queue-metadata"`` -- a ``schedule=queue`` journal header
+      lacks ``worker``/``grid_task_ids``;
     - ``"sha-mismatch"``         -- journals were written for different grids;
+    - ``"grid-tasks-mismatch"``  -- queue journals agree on the grid SHA but
+      disagree on the grid's task-id list (corrupted/edited header);
     - ``"shard-count-mismatch"`` -- journals disagree on the split's ``n``;
     - ``"duplicate-shard"``      -- the same shard index appears twice;
+    - ``"duplicate-worker"``     -- two queue journals claim the same worker
+      id (a journal merged twice, or two hosts misconfigured alike);
     - ``"duplicate-task"``       -- a task ID is claimed by several shards
       (identical result rows);
-    - ``"conflicting-result"``   -- a duplicated task ID has *different*
-      result rows across journals;
+    - ``"conflicting-result"``   -- one task has *different* result rows
+      across journals (a shard duplicate, or two queue workers that somehow
+      both committed);
     - ``"foreign-result"``       -- a journal records a task outside its own
-      shard slice;
+      shard slice (shard mode) or outside the grid (queue mode);
     - ``"missing-shard"``        -- a shard index of the split has no journal
       (degradable via ``allow_incomplete``);
     - ``"incomplete-coverage"``  -- shard slices do not add up to the full
       grid (degradable via ``allow_incomplete``);
-    - ``"missing-result"``       -- a shard journal covers a task but holds
-      no result for it, e.g. killed mid-sweep or a torn trailing line
-      (degradable via ``allow_incomplete``);
+    - ``"missing-result"``       -- a covered task holds no final result --
+      killed mid-sweep, a torn trailing line, or (queue mode) a task no
+      worker completed (degradable via ``allow_incomplete``);
     - ``"missing-events"``       -- a merged flight record was requested but
       a result carries no event stream.
     """
@@ -82,3 +93,30 @@ class MergeError(SweepError):
         super().__init__(message)
         self.cause = cause
         self.details = details
+
+
+#: Every ``MergeError.cause`` slug the library raises, in one place, so the
+#: docs-freshness gate (``tools/check_docs.py``) and the operator runbook can
+#: be checked against the code instead of rotting silently.
+MERGE_ERROR_CAUSES = frozenset(
+    {
+        "no-journals",
+        "unreadable-journal",
+        "missing-header",
+        "mixed-schedule",
+        "missing-shard-metadata",
+        "missing-queue-metadata",
+        "sha-mismatch",
+        "grid-tasks-mismatch",
+        "shard-count-mismatch",
+        "duplicate-shard",
+        "duplicate-worker",
+        "duplicate-task",
+        "conflicting-result",
+        "foreign-result",
+        "missing-shard",
+        "incomplete-coverage",
+        "missing-result",
+        "missing-events",
+    }
+)

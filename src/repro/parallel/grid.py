@@ -6,6 +6,14 @@ of independent :class:`~repro.core.pipeline.BackdoorPipeline` runs.  A
 turns it into an ordered list of :class:`SweepTask` descriptors that are
 plain JSON-able data, so they can be pickled to pool workers and journaled
 to disk verbatim.
+
+The expanded order is the **canonical grid order**: result rows, journal
+coverage, telemetry merges and the content SHA (:func:`grid_sha_of`) all
+follow it.  Both multi-host modes partition exactly this order --
+:class:`ShardSpec` statically into contiguous slices, and the work-stealing
+queue (:mod:`repro.parallel.scheduler`) dynamically task by task -- which
+is why ``repro merge`` can always reassemble the byte-identical unsharded
+result no matter who computed which row.
 """
 
 from __future__ import annotations
@@ -194,6 +202,11 @@ def grid_sha_of(tasks: Sequence[SweepTask]) -> str:
     """SHA-256 over the canonical JSON of an ordered task list."""
     canonical = json.dumps([t.to_json() for t in tasks], sort_keys=True)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def task_ids_of(tasks: Sequence[SweepTask]) -> List[str]:
+    """Grid-ordered task ids (the journal/queue keys) of a task list."""
+    return [task.task_id for task in tasks]
 
 
 def ensure_unique(tasks: Sequence[SweepTask]) -> Tuple[SweepTask, ...]:

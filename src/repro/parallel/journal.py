@@ -3,19 +3,32 @@
 One line per event, appended and flushed as tasks finish, so a sweep killed
 at any point leaves a journal whose intact prefix is a valid checkpoint:
 
-- ``{"kind": "header", ...}``   -- grid identity (sha + task count) plus the
-  shard this journal covers (``shard_index``/``shard_count`` and the
-  grid-ordered ``shard_task_ids`` slice; ``0``/``1``/all for an unsharded
-  run), once;
-- ``{"kind": "result", ...}``   -- one per finished task (ok or failed),
+- ``{"kind": "header", ...}``   -- grid identity (``grid_sha`` over the
+  *full* canonical grid + ``total_tasks``) plus this journal's ownership
+  mode, once (see below);
+- ``{"kind": "result", ...}``   -- one per finished task (``ok``,
+  ``failed``, or ``superseded`` when a queue worker lost the commit race),
   carrying the row and -- when captured -- the task's metrics, span tree
-  and flight-recorder events, so a shard journal is the *complete* output
+  and flight-recorder events, so a journal is the *complete* output
   ``repro merge`` needs to reassemble the sweep;
 - ``{"kind": "resume", ...}``   -- appended each time a sweep resumes.
 
+Two header modes declare who owns which tasks (``schedule`` field):
+
+- ``schedule="shard"`` (the default; absent in pre-queue journals): the
+  journal covers one *static* contiguous slice of the canonical grid order,
+  pinned upfront as ``shard_index``/``shard_count``/``shard_task_ids``;
+- ``schedule="queue"``: the journal belongs to one ``worker`` of a
+  queue-scheduled sweep (:mod:`repro.parallel.scheduler`).  Ownership is
+  *dynamic* -- whichever tasks this worker claimed and committed -- so the
+  header pins the full grid's ``grid_task_ids`` instead of a slice, and the
+  result records themselves define ownership.
+
 Loading tolerates a torn trailing line (the kill case) and skips malformed
 interior lines rather than aborting, because losing one checkpoint entry
-only costs re-running that task.
+only costs re-running that task.  Later ``result`` lines for one task
+supersede earlier ones, which is how a queue worker retracts a result that
+lost the duplicate-completion race (``status="superseded"``).
 """
 
 from __future__ import annotations
@@ -30,7 +43,54 @@ from repro.log import get_logger
 
 JOURNAL_SCHEMA = 1
 
+#: Header ``schedule`` values: static contiguous slices vs the work-stealing
+#: queue of :mod:`repro.parallel.scheduler`.
+SCHEDULE_SHARD = "shard"
+SCHEDULE_QUEUE = "queue"
+
 log = get_logger(__name__)
+
+
+def build_result_record(
+    task_id: str,
+    status: str,
+    attempts: int,
+    duration_seconds: float,
+    row: Optional[Dict[str, object]] = None,
+    error: Optional[Dict[str, object]] = None,
+    metrics: Optional[Dict[str, object]] = None,
+    spans: Optional[List[Dict[str, object]]] = None,
+    events: Optional[List[Dict[str, object]]] = None,
+    **extra: object,
+) -> Dict[str, object]:
+    """One ``result`` journal line, shared by the pool runner and the queue
+    scheduler so both schedule modes journal byte-compatible records.
+
+    Successful records carry the row plus any captured telemetry (metrics,
+    span tree, flight-recorder events) -- the journal is a task's *complete*
+    output, which is what lets ``repro merge`` reassemble a sweep without
+    talking to the host that ran it.  Failed records carry the structured
+    ``error`` instead.
+    """
+    record: Dict[str, object] = {
+        "kind": "result",
+        "task_id": task_id,
+        "status": status,
+        "attempts": attempts,
+        "duration_seconds": duration_seconds,
+        **extra,
+    }
+    if status == "ok":
+        record["row"] = row
+        if metrics is not None:
+            record["metrics"] = metrics
+        if spans is not None:
+            record["spans"] = spans
+        if events is not None:
+            record["events"] = events
+    elif status == "failed" or error is not None:
+        record["error"] = error
+    return record
 
 
 @dataclasses.dataclass

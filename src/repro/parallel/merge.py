@@ -1,21 +1,31 @@
-"""Reassemble shard journals into one sweep: the ``repro merge`` machinery.
+"""Reassemble per-host sweep journals into one sweep: ``repro merge``.
 
-A sharded sweep leaves one journal per host, each covering a contiguous
-slice of the canonical grid order and pinned to the *full* grid's content
-SHA (see :meth:`repro.parallel.grid.SweepGrid.shard`).  This module
-validates that a set of such journals really is one sweep -- same grid
-SHA, disjoint and jointly exhaustive slices, one result per covered task
--- and reassembles the grid-ordered rows, the merged telemetry snapshot
-and the merged flight-recorder event stream.
+A distributed sweep leaves one journal per host, pinned to the *full*
+grid's content SHA, in one of two ownership modes (the header's
+``schedule`` field, see :mod:`repro.parallel.journal`):
 
-The determinism contract is the headline guarantee: for any ``n`` and any
-worker counts, ``merge(shards(0..n-1))`` is byte-identical to the
-equivalent unsharded :func:`repro.parallel.runner.run_sweep` -- sharding
-never changes row values, only who computes them.
+- ``schedule="shard"``: each journal covers one *static* contiguous slice
+  of the canonical grid order (:meth:`repro.parallel.grid.SweepGrid.shard`).
+  Validation demands the slices be disjoint and jointly exhaustive, with
+  one result per covered task.
+- ``schedule="queue"``: each journal belongs to one worker of a
+  work-stealing queue (:mod:`repro.parallel.scheduler`); ownership is
+  whatever that worker claimed and committed.  Validation demands every
+  journal pin the same grid, drops ``superseded`` tombstones, tolerates
+  *identical* duplicate results (two workers raced, values agree -- the
+  deterministically chosen winner is kept) and rejects conflicting ones.
 
-Every malformed-shard scenario (truncated journal, missing shard,
+Either way the merge reassembles the grid-ordered rows, the merged
+telemetry snapshot and the merged flight-recorder event stream.  The
+determinism contract is the headline guarantee: scheduling may change
+*who* computes a row, never its value -- for any shard count, worker
+count, steal or crash, the merge is byte-identical to the equivalent
+unsharded :func:`repro.parallel.runner.run_sweep`.
+
+Every malformed-journal scenario (truncated journal, missing shard,
 duplicated task ID, mismatched grid SHA, ...) fails with a structured
-:class:`repro.errors.MergeError` naming the offending journals/tasks.
+:class:`repro.errors.MergeError` naming the offending journals/tasks
+(all causes: :data:`repro.errors.MERGE_ERROR_CAUSES`).
 ``allow_incomplete=True`` degrades only the *coverage* failures
 (missing shard, missing result) into a grid-ordered partial merge with
 the gaps reported; trust failures (SHA mismatch, duplicates, conflicts)
@@ -27,11 +37,11 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import MergeError
 from repro.log import get_logger
-from repro.parallel.journal import SweepJournal
+from repro.parallel.journal import SCHEDULE_QUEUE, SCHEDULE_SHARD, SweepJournal
 from repro.telemetry.events import EventRecorder, write_events_jsonl
 from repro.telemetry.registry import MetricsRegistry
 
@@ -40,6 +50,7 @@ PathLike = Union[str, Path]
 log = get_logger(__name__)
 
 _SHARD_HEADER_FIELDS = ("shard_index", "shard_count", "shard_task_ids")
+_QUEUE_HEADER_FIELDS = ("worker", "grid_task_ids")
 
 
 def _preview(items: Sequence[str], limit: int = 5) -> str:
@@ -50,7 +61,14 @@ def _preview(items: Sequence[str], limit: int = 5) -> str:
 
 @dataclasses.dataclass
 class ShardView:
-    """Parsed view of one shard journal (header + final per-task records)."""
+    """Parsed view of one per-host journal (header + final per-task records).
+
+    Despite the name (it predates queue mode) a view wraps either journal
+    kind; :attr:`schedule` says which.  ``records`` holds each task's
+    *final* journal line -- journal supersession already applied, so a
+    queue worker's retracted results appear here as their ``superseded``
+    tombstones.
+    """
 
     path: str
     header: Dict[str, object]
@@ -59,6 +77,16 @@ class ShardView:
     @property
     def grid_sha(self) -> str:
         return str(self.header.get("grid_sha"))
+
+    @property
+    def schedule(self) -> str:
+        """Ownership mode; headers predating queue mode are shard journals."""
+        return str(self.header.get("schedule", SCHEDULE_SHARD))
+
+    @property
+    def worker(self) -> str:
+        """Queue mode only: the worker this journal belongs to."""
+        return str(self.header.get("worker", ""))
 
     @property
     def shard_index(self) -> int:
@@ -74,17 +102,36 @@ class ShardView:
 
     @property
     def task_ids(self) -> List[str]:
+        """Tasks this journal *owns*: the static slice (shard mode) or the
+        dynamically committed set in grid order (queue mode)."""
+        if self.schedule == SCHEDULE_QUEUE:
+            return [tid for tid in self.grid_task_ids if tid in self.committed]
         return [str(tid) for tid in self.header["shard_task_ids"]]  # type: ignore[union-attr]
+
+    @property
+    def grid_task_ids(self) -> List[str]:
+        """Queue mode only: the full grid's task ids in canonical order."""
+        return [str(tid) for tid in self.header["grid_task_ids"]]  # type: ignore[union-attr]
+
+    @property
+    def committed(self) -> Dict[str, Dict[str, object]]:
+        """Final records minus ``superseded`` tombstones (lost commit races)."""
+        return {
+            tid: record
+            for tid, record in self.records.items()
+            if record.get("status") != "superseded"
+        }
 
 
 @dataclasses.dataclass
 class MergeResult:
-    """A validated, grid-ordered reassembly of shard journals.
+    """A validated, grid-ordered reassembly of per-host journals.
 
-    ``task_ids`` lists the covered tasks in canonical grid order (shards
-    concatenated by index); ``records`` holds each covered task's final
-    journal record.  ``missing_task_ids``/``missing_shards`` report the
-    gaps an ``allow_incomplete`` merge tolerated.
+    ``task_ids`` lists the covered tasks in canonical grid order (shard
+    mode: shards concatenated by index; queue mode: the full grid);
+    ``records`` holds each covered task's final journal record.
+    ``missing_task_ids``/``missing_shards`` report the gaps an
+    ``allow_incomplete`` merge tolerated.
     """
 
     grid_sha: str
@@ -94,6 +141,10 @@ class MergeResult:
     records: Dict[str, Dict[str, object]]
     missing_task_ids: List[str]
     missing_shards: List[int]
+    schedule: str = SCHEDULE_SHARD
+    #: Tasks the merged journals jointly cover; defaults to the sum of the
+    #: shard slices (shard mode) when left unset.
+    covered_tasks: Optional[int] = None
 
     @property
     def rows(self) -> List[Dict[str, object]]:
@@ -116,8 +167,17 @@ class MergeResult:
     @property
     def missing_count(self) -> int:
         """Tasks of the full grid with no result: torn/absent + whole shards."""
-        covered = sum(len(shard.task_ids) for shard in self.shards)
+        covered = (
+            self.covered_tasks
+            if self.covered_tasks is not None
+            else sum(len(shard.task_ids) for shard in self.shards)
+        )
         return len(self.missing_task_ids) + (self.total_tasks - covered)
+
+    @property
+    def workers(self) -> List[str]:
+        """Queue mode: sorted worker ids the merge drew results from."""
+        return sorted({shard.worker for shard in self.shards if shard.worker})
 
     @property
     def seeds(self) -> List[int]:
@@ -128,11 +188,17 @@ class MergeResult:
 def merge_journals(
     paths: Sequence[PathLike], allow_incomplete: bool = False
 ) -> MergeResult:
-    """Validate and reassemble shard journals; see the module docstring."""
-    if not paths:
-        raise MergeError("no-journals", "no shard journals to merge")
+    """Validate and reassemble per-host journals; see the module docstring.
 
-    shards: List[ShardView] = []
+    Dispatches on the journals' ``schedule`` header: all-shard journals go
+    through the static-slice validation, all-queue journals through the
+    dynamic-ownership validation.  Mixing the two modes in one call is a
+    ``mixed-schedule`` error -- they describe different runs.
+    """
+    if not paths:
+        raise MergeError("no-journals", "no journals to merge")
+
+    views: List[ShardView] = []
     for path in paths:
         journal_path = Path(path)
         if not journal_path.exists():
@@ -146,15 +212,32 @@ def merge_journals(
                 f"{path}: journal has no intact header line",
                 path=str(path),
             )
-        absent = [field for field in _SHARD_HEADER_FIELDS if field not in state.header]
+        views.append(ShardView(path=str(path), header=state.header, records=state.records))
+
+    schedules = {view.schedule for view in views}
+    if len(schedules) > 1:
+        raise MergeError(
+            "mixed-schedule",
+            "cannot merge shard-mode and queue-mode journals together: "
+            + ", ".join(f"{view.path}={view.schedule}" for view in views),
+            schedules={view.path: view.schedule for view in views},
+        )
+    if schedules == {SCHEDULE_QUEUE}:
+        return _merge_queue(views, allow_incomplete)
+    return _merge_shards(views, allow_incomplete)
+
+
+def _merge_shards(shards: List[ShardView], allow_incomplete: bool) -> MergeResult:
+    """Static mode: disjoint, jointly exhaustive contiguous slices."""
+    for shard in shards:
+        absent = [field for field in _SHARD_HEADER_FIELDS if field not in shard.header]
         if absent:
             raise MergeError(
                 "missing-shard-metadata",
-                f"{path}: header lacks {absent} (journal predates sharding?)",
-                path=str(path),
+                f"{shard.path}: header lacks {absent} (journal predates sharding?)",
+                path=shard.path,
                 fields=absent,
             )
-        shards.append(ShardView(path=str(path), header=state.header, records=state.records))
 
     shas = {shard.grid_sha for shard in shards}
     if len(shas) > 1:
@@ -295,6 +378,126 @@ def merge_journals(
     )
 
 
+def _merge_queue(views: List[ShardView], allow_incomplete: bool) -> MergeResult:
+    """Dynamic mode: per-worker journals of one work-stealing queue.
+
+    Ownership is whatever each worker committed, so instead of slice
+    arithmetic the validation is: same grid (SHA *and* task-id list), one
+    journal per worker, no results outside the grid, and -- because steal
+    races can legitimately double-run a task -- duplicate results are kept
+    only when their rows are identical (winner chosen deterministically by
+    ``ok``-over-``failed`` status, then lowest worker id, so the merge is
+    independent of journal argument order).
+    """
+    for view in views:
+        absent = [field for field in _QUEUE_HEADER_FIELDS if field not in view.header]
+        if absent:
+            raise MergeError(
+                "missing-queue-metadata",
+                f"{view.path}: queue-mode header lacks {absent}",
+                path=view.path,
+                fields=absent,
+            )
+
+    shas = {view.grid_sha for view in views}
+    if len(shas) > 1:
+        raise MergeError(
+            "sha-mismatch",
+            "journals were written for different grids: "
+            + ", ".join(f"{view.path} sha={view.grid_sha}" for view in views),
+            shas={view.path: view.grid_sha for view in views},
+        )
+    sha = views[0].grid_sha
+
+    by_worker: Dict[str, ShardView] = {}
+    for view in views:
+        if view.worker in by_worker:
+            raise MergeError(
+                "duplicate-worker",
+                f"worker {view.worker!r} appears in both "
+                f"{by_worker[view.worker].path} and {view.path} "
+                "(journal passed twice, or two hosts share a worker id?)",
+                worker=view.worker,
+            )
+        by_worker[view.worker] = view
+
+    grid_ids = views[0].grid_task_ids
+    for view in views:
+        if view.grid_task_ids != grid_ids or view.total_tasks != len(grid_ids):
+            raise MergeError(
+                "grid-tasks-mismatch",
+                f"{view.path}: header task-id list disagrees with "
+                f"{views[0].path} despite matching grid SHA (edited/corrupt "
+                "header?)",
+                path=view.path,
+            )
+
+    grid_id_set = set(grid_ids)
+    for view in views:
+        foreign = sorted(set(view.records) - grid_id_set)
+        if foreign:
+            raise MergeError(
+                "foreign-result",
+                f"{view.path} records task(s) outside the grid: "
+                f"{_preview(foreign)}",
+                path=view.path,
+                task_ids=foreign,
+            )
+
+    ordered = [by_worker[worker] for worker in sorted(by_worker)]
+    records: Dict[str, Dict[str, object]] = {}
+    missing_task_ids: List[str] = []
+    conflicting: List[str] = []
+    for tid in grid_ids:
+        candidates = [
+            (view.worker, view.committed[tid])
+            for view in ordered
+            if tid in view.committed
+        ]
+        if not candidates:
+            missing_task_ids.append(tid)
+            continue
+        ok = [(worker, rec) for worker, rec in candidates if rec.get("status") == "ok"]
+        pool = ok or candidates
+        rows = {json.dumps(rec.get("row"), sort_keys=True) for _, rec in pool}
+        if len(rows) > 1:
+            conflicting.append(tid)
+            continue
+        # Deterministic winner: candidates are already in sorted-worker
+        # order, so the first is the lowest worker id with the best status.
+        records[tid] = pool[0][1]
+    if conflicting:
+        raise MergeError(
+            "conflicting-result",
+            f"{len(conflicting)} task(s) have conflicting results across "
+            f"worker journals: {_preview(conflicting)}",
+            task_ids=conflicting,
+        )
+    if missing_task_ids and not allow_incomplete:
+        raise MergeError(
+            "missing-result",
+            f"{len(missing_task_ids)} grid task(s) have no committed result "
+            f"(queue not drained, or workers killed?): {_preview(missing_task_ids)}",
+            task_ids=missing_task_ids,
+        )
+    if missing_task_ids:
+        log.warning(
+            "merging a partially drained queue: %d of %d task(s) missing",
+            len(missing_task_ids), len(grid_ids),
+        )
+    return MergeResult(
+        grid_sha=sha,
+        total_tasks=len(grid_ids),
+        shards=ordered,
+        task_ids=list(grid_ids),
+        records=records,
+        missing_task_ids=missing_task_ids,
+        missing_shards=[],
+        schedule=SCHEDULE_QUEUE,
+        covered_tasks=len(grid_ids),
+    )
+
+
 # ---------------------------------------------------------------------------
 # Merged artifacts
 # ---------------------------------------------------------------------------
@@ -382,8 +585,10 @@ def write_merged_journal(result: MergeResult, path: PathLike) -> Path:
 
     The merged journal is itself a valid (single-shard) sweep journal --
     ``repro report`` renders it and ``repro merge`` accepts it again, where
-    an incomplete merge honestly re-reports its gaps.  ``merged_from``
-    records how many shard journals it was assembled from.
+    an incomplete merge honestly re-reports its gaps.  This holds for queue
+    merges too: the dynamic ownership is resolved here, so the output is
+    always a plain ``schedule=shard`` journal.  ``merged_from`` records how
+    many per-host journals it was assembled from.
     """
     path = Path(path)
     if path.exists():
@@ -392,6 +597,7 @@ def write_merged_journal(result: MergeResult, path: PathLike) -> Path:
         journal.append_header(
             grid_sha=result.grid_sha,
             total_tasks=result.total_tasks,
+            schedule=SCHEDULE_SHARD,
             shard_index=0,
             shard_count=1,
             shard_task_ids=result.task_ids,

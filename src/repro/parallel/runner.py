@@ -15,11 +15,14 @@ across ``ProcessPoolExecutor`` workers.  Three guarantees:
   resubmitted -- the sweep finishes with a structured failure record
   instead of crashing.
 
-Multi-host scale-out layers on top of the same guarantees: ``shard=(i, n)``
-runs one contiguous slice of the canonical grid order against its own
-journal (header pinned to the *full* grid's SHA), and
-:mod:`repro.parallel.merge` reassembles any complete set of shard journals
-into the byte-identical unsharded result.
+Multi-host scale-out layers on top of the same guarantees, in two modes.
+``shard=(i, n)`` runs one *static* contiguous slice of the canonical grid
+order against its own journal (header pinned to the *full* grid's SHA);
+:mod:`repro.parallel.scheduler` instead lets heterogeneous hosts claim
+tasks *dynamically* from a filesystem-backed work-stealing queue, each
+appending to its own ``schedule=queue`` journal.  Either way,
+:mod:`repro.parallel.merge` reassembles the journals into the
+byte-identical unsharded result.
 """
 
 from __future__ import annotations
@@ -44,7 +47,7 @@ from repro.parallel.grid import (
     ensure_unique,
     grid_sha_of,
 )
-from repro.parallel.journal import SweepJournal
+from repro.parallel.journal import SCHEDULE_SHARD, SweepJournal, build_result_record
 from repro.telemetry.spans import SpanRecord
 
 TaskRunner = Callable[[Dict[str, object]], Dict[str, object]]
@@ -182,28 +185,23 @@ def run_sweep(
             )
             outcomes[index] = outcome
             if journal is not None:
-                record: Dict[str, object] = {
-                    "kind": "result",
-                    "task_id": tasks[index].task_id,
-                    "status": outcome.status,
-                    "attempts": attempt,
-                    "duration_seconds": outcome.duration_seconds,
-                }
-                if outcome.status == "ok":
-                    record["row"] = outcome.row
-                    # Ship telemetry through the journal too: a shard's
-                    # journal is its *complete* output, so `repro merge`
-                    # can rebuild the merged metrics snapshot and flight
-                    # record without talking to the host that ran it.
-                    if outcome.metrics is not None:
-                        record["metrics"] = outcome.metrics
-                    if outcome.spans is not None:
-                        record["spans"] = outcome.spans
-                    if outcome.events is not None:
-                        record["events"] = outcome.events
-                else:
-                    record["error"] = outcome.error
-                journal.append(record)
+                # Ship telemetry through the journal too: a journal is its
+                # task's *complete* output, so `repro merge` can rebuild the
+                # merged metrics snapshot and flight record without talking
+                # to the host that ran it.
+                journal.append(
+                    build_result_record(
+                        tasks[index].task_id,
+                        outcome.status,
+                        attempt,
+                        outcome.duration_seconds,
+                        row=outcome.row,
+                        error=outcome.error,
+                        metrics=outcome.metrics,
+                        spans=outcome.spans,
+                        events=outcome.events,
+                    )
+                )
 
         with telemetry.span("sweep", workers=workers, tasks=len(tasks)):
             if pending:
@@ -259,6 +257,12 @@ def _open_journal(
                 f"journal {journal_path!r} was written for a different grid "
                 f"(journal sha {state.header.get('grid_sha')!r} != run sha {sha!r})"
             )
+        schedule = state.header.get("schedule", SCHEDULE_SHARD)
+        if schedule != SCHEDULE_SHARD:
+            raise SweepError(
+                f"journal {journal_path!r} belongs to a {schedule!r}-scheduled "
+                "sweep; resume it through its queue directory, not --shard"
+            )
         header_shard = (state.header.get("shard_index"), state.header.get("shard_count"))
         run_shard = (spec.index, spec.count) if spec is not None else (0, 1)
         if header_shard[1] is not None and header_shard != run_shard:
@@ -271,6 +275,7 @@ def _open_journal(
         journal.append_header(
             grid_sha=sha,
             total_tasks=total_tasks,
+            schedule=SCHEDULE_SHARD,
             shard_index=spec.index if spec is not None else 0,
             shard_count=spec.count if spec is not None else 1,
             shard_task_ids=[task.task_id for task in tasks],
@@ -317,6 +322,31 @@ def _backoff(backoff_seconds: float, attempt: int) -> None:
         time.sleep(backoff_seconds * (2 ** (attempt - 1)))
 
 
+def attempt_with_retries(
+    payload: Dict[str, object],
+    task_runner: TaskRunner,
+    max_attempts: int,
+    backoff_seconds: float,
+) -> Tuple[int, Dict[str, object]]:
+    """Run one task payload with retry-and-backoff; never raises.
+
+    Returns ``(attempts_used, outcome_dict)`` where the outcome is either
+    the runner's (``status == "ok"``) or a structured failure after the
+    last attempt.  Shared by the inline pool path and the queue scheduler
+    so both record identical attempt semantics.
+    """
+    attempt = 1
+    while True:
+        try:
+            outcome = task_runner(payload)
+        except Exception as exc:  # custom runners may raise
+            outcome = _attempt_failure(exc)
+        if outcome.get("status") == "ok" or attempt >= max_attempts:
+            return attempt, outcome
+        _backoff(backoff_seconds, attempt)
+        attempt += 1
+
+
 def _run_inline(
     pending: Sequence[int],
     payloads: Sequence[Dict[str, object]],
@@ -326,17 +356,10 @@ def _run_inline(
     finalize: Callable[[int, int, Dict[str, object]], None],
 ) -> None:
     for index in pending:
-        attempt = 1
-        while True:
-            try:
-                outcome = task_runner(payloads[index])
-            except Exception as exc:  # custom runners may raise
-                outcome = _attempt_failure(exc)
-            if outcome.get("status") == "ok" or attempt >= max_attempts:
-                finalize(index, attempt, outcome)
-                break
-            _backoff(backoff_seconds, attempt)
-            attempt += 1
+        attempt, outcome = attempt_with_retries(
+            payloads[index], task_runner, max_attempts, backoff_seconds
+        )
+        finalize(index, attempt, outcome)
 
 
 def _run_pool(

@@ -348,12 +348,18 @@ def render_journal_markdown(analysis: Dict[str, object]) -> str:
     lines: List[str] = ["# Sweep journal report", ""]
     lines.append(f"- grid sha: `{_fmt(header.get('grid_sha'))}`")
     lines.append(f"- total tasks: {_fmt(header.get('total_tasks'))}")
-    # Shard identity (auto-detected): a shard journal covers one slice of
-    # the grid; a merged journal records how many shards it reassembled.
+    # Ownership identity (auto-detected): a shard journal covers one slice
+    # of the grid, a queue journal belongs to one worker, and a merged
+    # journal records how many per-host journals it reassembled.
     if header.get("merged_from") is not None:
         lines.append(
-            f"- merged from {_fmt(header.get('merged_from'))} shard journal(s) "
+            f"- merged from {_fmt(header.get('merged_from'))} per-host journal(s) "
             f"({len(header.get('shard_task_ids') or ())} task(s) covered)"
+        )
+    elif header.get("schedule") == "queue":
+        lines.append(
+            f"- queue worker: {_fmt(header.get('worker'))} "
+            f"(dynamic ownership of a {_fmt(header.get('total_tasks'))}-task grid)"
         )
     elif int(header.get("shard_count") or 1) > 1:
         lines.append(

@@ -408,7 +408,7 @@ def test_report_renders_shard_and_merged_identity(tmp_path):
 
     merged = write_merged_journal(merge_journals(paths), tmp_path / "merged.jsonl")
     merged_report = render_report(str(merged))
-    assert "merged from 2 shard journal(s)" in merged_report
+    assert "merged from 2 per-host journal(s)" in merged_report
 
 
 # ---------------------------------------------------------------------------
