@@ -15,6 +15,8 @@ Usage (after ``pip install -e .``):
     python -m repro.cli merge shard0.jsonl shard1.jsonl --out rows.json
     python -m repro.cli sweep --queue /shared/q --out w.json    # any number of hosts
     python -m repro.cli queue-status /shared/q
+    python -m repro.cli watch /shared/q                # live fleet dashboard
+    python -m repro.cli watch /shared/q --once --json  # one snapshot, for scripts
     python -m repro.cli merge /shared/q --out rows.json
     python -m repro.cli report flight.jsonl
     python -m repro.cli report rows.json.journal.jsonl --format json
@@ -145,6 +147,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     bench_seconds = report["spans"]["bench"]["total_seconds"]
     counters = report["counters"]
+    if args.openmetrics:
+        from repro.telemetry.export import write_openmetrics
+
+        lines = write_openmetrics(report, args.openmetrics)
+        print(f"wrote OpenMetrics textfile ({lines} lines) to {args.openmetrics}")
     print(f"wrote {args.out} ({bench_seconds:.2f} s end-to-end)")
     for name in sorted(counters):
         print(f"  {name}: {counters[name]:g}")
@@ -218,12 +225,14 @@ def _cmd_queue_sweep(args: argparse.Namespace, grid) -> int:
         telemetry.enable_events()
         telemetry.get_recorder().reset()
     try:
-        init_queue(args.queue, grid, lease_ttl=args.lease_ttl)
+        manifest = init_queue(args.queue, grid, lease_ttl=args.lease_ttl)
         result = run_queue(
             args.queue,
             worker_id=args.worker_id,
             max_attempts=args.max_attempts,
             backoff_seconds=args.backoff,
+            beacon_interval=args.beacon_interval,
+            timeline_interval=args.timeline_interval,
         )
     except SweepError as exc:
         print(f"sweep: {exc}", file=sys.stderr)
@@ -232,11 +241,16 @@ def _cmd_queue_sweep(args: argparse.Namespace, grid) -> int:
         json.dump(result.rows, handle, indent=2, sort_keys=True)
         handle.write("\n")
     if args.events:
-        lines = telemetry.dump_events(
-            args.events,
-            meta={"command": "sweep", "schedule": "queue", "worker": result.worker},
-        )
-        print(f"wrote scheduler decision log ({lines} lines) to {args.events}")
+        meta = {"command": "sweep", "schedule": "queue", "worker": result.worker}
+        lines = telemetry.dump_events(args.events, meta=meta)
+        # A copy inside the queue directory makes it self-contained:
+        # `repro report <queue-dir>` renders the fleet's scheduler
+        # decisions from events/*.events.jsonl without extra bookkeeping.
+        queue_copy = manifest.events_path(result.worker)
+        queue_copy.parent.mkdir(parents=True, exist_ok=True)
+        telemetry.dump_events(str(queue_copy), meta=meta)
+        print(f"wrote scheduler decision log ({lines} lines) to {args.events} "
+              f"(copy: {queue_copy})")
     print(format_sweep(result.rows))
     print(
         f"queue worker {result.worker}: {len(result.outcomes)} committed of "
@@ -292,6 +306,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         max_attempts=args.max_attempts,
         backoff_seconds=args.backoff,
         shard=args.shard,
+        live_dir=args.live_dir,
+        beacon_interval=args.beacon_interval,
     )
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(result.rows, handle, indent=2, sort_keys=True)
@@ -356,6 +372,51 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if result.failures else 0
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """``repro watch QUEUE``: live fleet dashboard over beacons + queue state.
+
+    An observer only -- exit code 0 whether or not the queue is drained
+    (scripts read ``drained`` from ``--once --json``), 2 on error.  Without
+    ``--once`` the dashboard refreshes every ``--interval`` seconds until
+    the queue drains.
+    """
+    import json
+    import time
+
+    from repro.errors import SweepError
+    from repro.telemetry.live import (
+        HealthThresholds,
+        fleet_status,
+        format_fleet,
+        write_fleet_trace,
+    )
+
+    thresholds = HealthThresholds(stall_after_seconds=args.stall_after)
+    while True:
+        try:
+            fleet = fleet_status(args.queue, thresholds=thresholds)
+        except SweepError as exc:
+            print(f"watch failed: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(fleet, indent=2, sort_keys=True))
+        else:
+            if not args.once and sys.stdout.isatty():
+                print("\x1b[2J\x1b[H", end="")
+            print(format_fleet(fleet), end="")
+        if args.once or fleet["drained"]:
+            break
+        time.sleep(args.interval)
+    if args.trace:
+        try:
+            events = write_fleet_trace(args.trace, args.queue)
+        except SweepError as exc:
+            print(f"watch failed: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote stitched fleet trace ({events} event(s)) to {args.trace}")
+    return 0
+
+
 def _cmd_queue_status(args: argparse.Namespace) -> int:
     import json
 
@@ -371,10 +432,20 @@ def _cmd_queue_status(args: argparse.Namespace) -> int:
         print(json.dumps(status.to_json(), indent=2, sort_keys=True))
     else:
         print(f"queue {args.queue} (grid {status.grid_sha[:12]}):")
-        print(f"  done:    {status.done}/{status.total_tasks}")
+        print(f"  done:    {status.done}/{status.total_tasks} "
+              f"({status.failed} failed)")
         print(f"  leased:  {status.leased} ({status.expired} expired/stealable)")
         print(f"  open:    {status.open_tasks}")
         print(f"  workers: {', '.join(status.workers) or '(none yet)'}")
+        for worker, age in sorted(status.heartbeats.items()):
+            print(f"  heartbeat {worker}: {age:.1f}s ago")
+        for lease in status.leases:
+            remaining = lease.get("expires_in_seconds")
+            countdown = "?" if remaining is None else f"{remaining:.1f}s"
+            state = "EXPIRED" if lease.get("expired") else f"expires in {countdown}"
+            print(f"  lease {lease['task_id']} -> {lease.get('worker')} ({state})")
+        for issue in status.health:
+            print(f"  health [{issue['cause']}]: {issue['message']}")
     return 0 if status.complete else 1
 
 
@@ -579,6 +650,9 @@ def build_parser() -> argparse.ArgumentParser:
                        "stream (JSONL) to this path")
     bench.add_argument("--trace", help="export spans + events as a Chrome-trace/"
                        "Perfetto JSON file to this path")
+    bench.add_argument("--openmetrics", metavar="PATH",
+                       help="also write the report's counters/gauges/histograms "
+                            "as an OpenMetrics/Prometheus textfile to this path")
     bench.add_argument("--no-manifest", action="store_true",
                        help="skip writing <out>.manifest.json")
 
@@ -660,6 +734,20 @@ def build_parser() -> argparse.ArgumentParser:
                        "events, merged in grid order, to this JSONL path")
     sweep.add_argument("--no-manifest", action="store_true",
                        help="skip writing <journal>.manifest.json")
+    sweep.add_argument("--beacon-interval", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="live status beacon refresh interval (0 disables; "
+                            "queue mode writes to <queue>/beacons/, pool/shard "
+                            "mode needs --live-dir)")
+    sweep.add_argument("--timeline-interval", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="queue mode: sample sched./engine./pipeline counters "
+                            "to <queue>/timeline/<worker>.timeline.jsonl every "
+                            "SECONDS (0 disables)")
+    sweep.add_argument("--live-dir", metavar="DIR", default=None,
+                       help="pool/shard mode: keep a live status beacon fresh "
+                            "in this directory for `repro watch`-style tooling "
+                            "(sidecar only; never changes any output byte)")
 
     status = sub.add_parser(
         "queue-status",
@@ -669,6 +757,30 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument("queue", help="queue directory (as passed to sweep --queue)")
     status.add_argument("--json", action="store_true",
                         help="print the snapshot as JSON instead of text")
+
+    watch = sub.add_parser(
+        "watch",
+        help="live fleet dashboard for a queue directory: per-worker beacons, "
+             "drain %%, throughput, ETA, lease churn and health causes "
+             "(exit 0 as an observer regardless of drain state, 2 on error)",
+    )
+    watch.add_argument("queue", help="queue directory (as passed to sweep --queue)")
+    watch.add_argument("--once", action="store_true",
+                       help="print one snapshot and exit instead of refreshing "
+                            "until the queue drains")
+    watch.add_argument("--json", action="store_true",
+                       help="print the repro-live/1 snapshot as JSON (for "
+                            "scripts/CI; pair with --once)")
+    watch.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                       help="dashboard refresh interval (default 2)")
+    watch.add_argument("--stall-after", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="beacon heartbeat age after which a worker counts "
+                            "as stalled (default 30)")
+    watch.add_argument("--trace", metavar="PATH",
+                       help="after the last snapshot, stitch every worker's "
+                            "journaled spans/events into one Perfetto trace "
+                            "with a lane per worker and write it here")
 
     merge = sub.add_parser(
         "merge",
@@ -696,10 +808,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser(
         "report",
-        help="render a forensics report from a flight record or sweep journal",
+        help="render a forensics report from a flight record, sweep journal "
+             "or queue directory (fleet summary + scheduler decisions)",
     )
-    report.add_argument("input", help="a *.events.jsonl flight record or a "
-                        "sweep/merged *.journal.jsonl")
+    report.add_argument("input", help="a *.events.jsonl flight record, a "
+                        "sweep/merged *.journal.jsonl, or a queue directory "
+                        "(renders per-worker results and, with --events "
+                        "decision logs, a scheduler-decision table)")
     report.add_argument("--format", choices=["markdown", "json"], default="markdown")
     report.add_argument("--out", help="write the report here instead of stdout")
 
@@ -743,6 +858,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench-trend": _cmd_bench_trend,
         "sweep": _cmd_sweep,
         "queue-status": _cmd_queue_status,
+        "watch": _cmd_watch,
         "merge": _cmd_merge,
         "report": _cmd_report,
     }

@@ -95,6 +95,34 @@ class MergeError(SweepError):
         self.details = details
 
 
+#: Every live-health cause slug :func:`repro.telemetry.live.health_issue`
+#: may emit, mirroring :data:`MERGE_ERROR_CAUSES`: machine-readable, in one
+#: registry, and required (by ``tools/check_docs.py``) to be documented in
+#: both README.md and DESIGN.md.  Health issues are advisory observations
+#: over a *live* fleet (``repro watch`` / ``repro queue-status``), not
+#: exceptions -- the determinism contract is unaffected either way.
+#:
+#: - ``"stalled-worker"``       -- a worker's beacon stopped updating while
+#:   the queue still holds open tasks (process died or wedged);
+#: - ``"expired-lease-churn"``  -- leases keep expiring and being re-stolen
+#:   (lease TTL likely shorter than the task duration);
+#: - ``"failure-rate"``         -- an abnormal share of committed tasks
+#:   failed terminally;
+#: - ``"no-progress"``          -- a worker heartbeats but has not committed
+#:   a task for a long time (wedged mid-task, or starved);
+#: - ``"clock-skew"``           -- a beacon is timestamped in this host's
+#:   future (unsynchronized clocks make ages/ETAs untrustworthy).
+HEALTH_CAUSES = frozenset(
+    {
+        "stalled-worker",
+        "expired-lease-churn",
+        "failure-rate",
+        "no-progress",
+        "clock-skew",
+    }
+)
+
+
 #: Every ``MergeError.cause`` slug the library raises, in one place, so the
 #: docs-freshness gate (``tools/check_docs.py``) and the operator runbook can
 #: be checked against the code instead of rotting silently.

@@ -29,8 +29,11 @@ from __future__ import annotations
 
 import dataclasses
 import multiprocessing
+import os
+import socket
 import time
 from collections import deque
+from pathlib import Path
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
@@ -48,6 +51,7 @@ from repro.parallel.grid import (
     grid_sha_of,
 )
 from repro.parallel.journal import SCHEDULE_SHARD, SweepJournal, build_result_record
+from repro.telemetry.live import BEACON_SUFFIX, BeaconWriter
 from repro.telemetry.spans import SpanRecord
 
 TaskRunner = Callable[[Dict[str, object]], Dict[str, object]]
@@ -114,6 +118,8 @@ def run_sweep(
     capture_events: Optional[bool] = None,
     task_runner: TaskRunner = worker.execute_task,
     shard: Optional[ShardLike] = None,
+    live_dir: Optional[str] = None,
+    beacon_interval: float = 2.0,
 ) -> SweepResult:
     """Run every grid task, fanned out over ``workers`` processes.
 
@@ -134,6 +140,12 @@ def run_sweep(
     against their own journal can later be reassembled by
     :func:`repro.parallel.merge.merge_journals` -- byte-identical to an
     unsharded run.  Resume/retry semantics are unchanged within a shard.
+
+    ``live_dir`` points a status beacon (:mod:`repro.telemetry.live`) at
+    that directory: one ``<worker>.beacon.json`` kept fresh every
+    ``beacon_interval`` seconds for the whole sweep.  Purely a sidecar --
+    rows, journal, metrics and flight record are byte-identical with or
+    without it.
     """
     if max_attempts < 1:
         raise SweepError(f"max_attempts must be positive, got {max_attempts}")
@@ -156,6 +168,27 @@ def run_sweep(
 
     outcomes: Dict[int, TaskOutcome] = {}
     journal: Optional[SweepJournal] = None
+    beacon: Optional[BeaconWriter] = None
+    if live_dir is not None:
+        beacon_id = f"{socket.gethostname()}-{os.getpid()}"
+        if spec is not None:
+            beacon_id += f"-shard{spec.index}"
+        beacon = BeaconWriter(
+            Path(live_dir) / f"{beacon_id}{BEACON_SUFFIX}",
+            worker=beacon_id,
+            interval=beacon_interval,
+        ).start()
+
+    def _beacon_progress() -> None:
+        if beacon is None:
+            return
+        beacon.update(
+            phase="running",
+            tasks_done=sum(1 for o in outcomes.values() if o.status != "failed"),
+            tasks_failed=sum(1 for o in outcomes.values() if o.status == "failed"),
+            claims=len(outcomes),
+        )
+
     try:
         if journal_path is not None:
             journal = _open_journal(
@@ -202,6 +235,7 @@ def run_sweep(
                         events=outcome.events,
                     )
                 )
+            _beacon_progress()
 
         with telemetry.span("sweep", workers=workers, tasks=len(tasks)):
             if pending:
@@ -225,6 +259,8 @@ def run_sweep(
     finally:
         if journal is not None:
             journal.close()
+        if beacon is not None:
+            beacon.stop(phase="done")
     return SweepResult(
         outcomes=ordered, grid_sha=sha, journal_path=journal_path,
         shard=spec, total_tasks=len(full_tasks),

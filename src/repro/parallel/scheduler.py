@@ -54,6 +54,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro import telemetry
 from repro.errors import SweepError
 from repro.log import get_logger
+from repro.telemetry import live
+from repro.telemetry.timeline import TimelineSampler
 from repro.parallel import worker
 from repro.parallel.grid import (
     SweepGrid,
@@ -81,6 +83,11 @@ MANIFEST_NAME = "queue.json"
 LEASE_DIR = "leases"
 DONE_DIR = "done"
 JOURNAL_DIR = "journals"
+#: Live-side (non-deterministic, advisory) artifacts live in their own
+#: subdirectories so nothing the merge reads can ever pick them up.
+BEACON_DIR = "beacons"
+TIMELINE_DIR = "timeline"
+EVENTS_DIR = "events"
 
 log = get_logger(__name__)
 
@@ -134,6 +141,15 @@ class QueueManifest:
 
     def journal_paths(self) -> List[Path]:
         return sorted((self.root / JOURNAL_DIR).glob("*.jsonl"))
+
+    def beacon_path(self, worker_id: str) -> Path:
+        return self.root / BEACON_DIR / f"{worker_id}{live.BEACON_SUFFIX}"
+
+    def timeline_path(self, worker_id: str) -> Path:
+        return self.root / TIMELINE_DIR / f"{worker_id}.timeline.jsonl"
+
+    def events_path(self, worker_id: str) -> Path:
+        return self.root / EVENTS_DIR / f"{worker_id}.events.jsonl"
 
 
 def init_queue(
@@ -411,7 +427,15 @@ def try_commit(manifest: QueueManifest, lease: Lease, status: str) -> Tuple[bool
 # ---------------------------------------------------------------------------
 @dataclasses.dataclass
 class QueueStatus:
-    """Point-in-time snapshot of a queue directory (``repro queue-status``)."""
+    """Point-in-time snapshot of a queue directory (``repro queue-status``).
+
+    Besides the drain counts, the snapshot carries the live-side view:
+    per-lease expiry countdowns, per-worker beacon heartbeat ages, the
+    failed-commit count and any structured health causes
+    (:data:`repro.errors.HEALTH_CAUSES`) detected over beacons + queue
+    state.  All live fields are advisory; the counts alone decide the
+    exit code of ``repro queue-status``.
+    """
 
     grid_sha: str
     total_tasks: int
@@ -419,6 +443,11 @@ class QueueStatus:
     leased: int
     expired: int
     workers: List[str]
+    failed: int = 0
+    leases: List[Dict[str, object]] = dataclasses.field(default_factory=list)
+    heartbeats: Dict[str, float] = dataclasses.field(default_factory=dict)
+    health: List[Dict[str, object]] = dataclasses.field(default_factory=list)
+    beacons: List[Dict[str, object]] = dataclasses.field(default_factory=list)
 
     @property
     def open_tasks(self) -> int:
@@ -429,32 +458,82 @@ class QueueStatus:
         return self.done >= self.total_tasks
 
     def to_json(self) -> Dict[str, object]:
+        # Beacons are exposed in full by `repro watch`; here only their
+        # heartbeat ages, to keep queue-status output compact.
         return {
             "grid_sha": self.grid_sha,
             "total_tasks": self.total_tasks,
             "done": self.done,
+            "failed": self.failed,
             "open": self.open_tasks,
             "leased": self.leased,
             "expired_leases": self.expired,
             "complete": self.complete,
             "workers": self.workers,
+            "leases": self.leases,
+            "heartbeats": self.heartbeats,
+            "health": self.health,
         }
 
 
-def queue_status(path: Union[str, Path]) -> QueueStatus:
+def queue_status(
+    path: Union[str, Path],
+    now: Optional[float] = None,
+    thresholds: Optional["live.HealthThresholds"] = None,
+) -> QueueStatus:
     """Inspect a queue directory without mutating it."""
     manifest = load_queue(path)
-    done = leased = expired = 0
+    clock = time.time() if now is None else now
+    done = failed = leased = expired = 0
+    leases: List[Dict[str, object]] = []
     for index in range(manifest.total_tasks):
-        if manifest.done_path(index).exists():
+        done_path = manifest.done_path(index)
+        if done_path.exists():
             done += 1
+            try:
+                marker = json.loads(done_path.read_text(encoding="utf-8"))
+                if marker.get("status") == "failed":
+                    failed += 1
+            except (OSError, ValueError):
+                pass
             continue
         lease_path = manifest.lease_path(index)
         if lease_path.exists():
             leased += 1
-            if _lease_expired(lease_path, manifest.lease_ttl):
+            is_expired = _lease_expired(lease_path, manifest.lease_ttl)
+            if is_expired:
                 expired += 1
+            entry: Dict[str, object] = {
+                "task_id": manifest.tasks[index].task_id,
+                "expired": is_expired,
+            }
+            try:
+                payload = json.loads(lease_path.read_text(encoding="utf-8"))
+                entry["worker"] = payload.get("worker")
+                entry["expires_in_seconds"] = round(
+                    float(payload["deadline_unix"]) - clock, 3
+                )
+            except (OSError, ValueError, KeyError):
+                entry["worker"] = None
+                entry["expires_in_seconds"] = None
+            leases.append(entry)
     workers = [p.name[: -len(".journal.jsonl")] for p in manifest.journal_paths()]
+    beacons = live.read_beacons(manifest.root / BEACON_DIR)
+    heartbeats = {
+        str(b.get("worker", "?")): round(
+            max(0.0, clock - float(b.get("updated_unix") or clock)), 3
+        )
+        for b in beacons
+    }
+    health = live.detect_health(
+        total_tasks=manifest.total_tasks,
+        done=done,
+        failed=failed,
+        beacons=beacons,
+        expired_leases=expired,
+        now=clock,
+        thresholds=thresholds,
+    )
     return QueueStatus(
         grid_sha=manifest.grid_sha,
         total_tasks=manifest.total_tasks,
@@ -462,6 +541,11 @@ def queue_status(path: Union[str, Path]) -> QueueStatus:
         leased=leased,
         expired=expired,
         workers=workers,
+        failed=failed,
+        leases=leases,
+        heartbeats=heartbeats,
+        health=health,
+        beacons=beacons,
     )
 
 
@@ -533,6 +617,8 @@ def run_queue(
     max_tasks: Optional[int] = None,
     wait_for_completion: bool = True,
     poll_seconds: float = 0.2,
+    beacon_interval: float = live.DEFAULT_BEACON_INTERVAL,
+    timeline_interval: float = 0.0,
 ) -> QueueRunResult:
     """Work a queue until it drains (or ``max_tasks`` is reached).
 
@@ -555,6 +641,14 @@ def run_queue(
     each claimed task -- the fault-injection hook the tests and the CI
     ``queue`` job use to make one worker pathologically slow without
     changing any merged byte.
+
+    While running, the worker keeps a live status beacon fresh at
+    ``<queue>/beacons/<worker>.beacon.json`` every ``beacon_interval``
+    seconds (``0`` disables), and with ``timeline_interval > 0`` also
+    appends counter snapshots to ``<queue>/timeline/<worker>.timeline.jsonl``.
+    Both are sidecar artifacts (:mod:`repro.telemetry.live`): written next
+    to, never into, the journal -- merged rows/metrics/flight records are
+    byte-identical with or without them.
     """
     if max_attempts < 1:
         raise SweepError(f"max_attempts must be positive, got {max_attempts}")
@@ -582,6 +676,32 @@ def run_queue(
 
     committed: List[Tuple[int, TaskOutcome]] = []
     counters = {"claims": 0, "steals": 0, "lease_expired": 0, "superseded": 0}
+
+    beacon: Optional[live.BeaconWriter] = None
+    sampler: Optional[TimelineSampler] = None
+    failed_count = 0
+
+    def _beacon_counts() -> Dict[str, object]:
+        return {
+            "tasks_done": len(committed),
+            "tasks_failed": failed_count,
+            "claims": counters["claims"],
+            "steals": counters["steals"],
+            "lease_expired": counters["lease_expired"],
+            "superseded": counters["superseded"],
+        }
+
+    if beacon_interval and beacon_interval > 0:
+        beacon = live.BeaconWriter(
+            manifest.beacon_path(wid), worker=wid, interval=beacon_interval
+        ).start()
+    if timeline_interval and timeline_interval > 0:
+        sampler = TimelineSampler(
+            manifest.timeline_path(wid),
+            interval=timeline_interval,
+            extra_fn=lambda: {"worker": wid, **_beacon_counts()},
+        ).start()
+
     journal = SweepJournal(journal_path).open()
     try:
         if state.header is None:
@@ -607,12 +727,18 @@ def run_queue(
             if lease is None:
                 if open_tasks == 0 or not wait_for_completion:
                     break
+                if beacon is not None:
+                    beacon.update(phase="idle", current_task=None, **_beacon_counts())
                 time.sleep(poll_seconds)
                 continue
             counters["claims"] += 1
             if stole:
                 counters["steals"] += 1
                 counters["lease_expired"] += 1
+            if beacon is not None:
+                beacon.update(
+                    phase="running", current_task=lease.task_id, **_beacon_counts()
+                )
             heartbeat = _Heartbeat(lease).start()
             try:
                 if fault_delay > 0:
@@ -658,6 +784,8 @@ def run_queue(
             won, winner = try_commit(manifest, lease, outcome.status)
             if won:
                 committed.append((lease.task_index, outcome))
+                if outcome.status == "failed":
+                    failed_count += 1
                 telemetry.event(
                     "sched.commit", task_id=outcome.task.task_id, worker=wid,
                     status=outcome.status,
@@ -685,8 +813,15 @@ def run_queue(
                     )
                 )
             lease.release()
+            if beacon is not None:
+                beacon.update(phase="running", current_task=None, **_beacon_counts())
     finally:
         journal.close()
+        if beacon is not None:
+            beacon.update(**_beacon_counts())
+            beacon.stop(phase="done")
+        if sampler is not None:
+            sampler.stop()
     # Grid-ordered, like SweepResult.outcomes -- steals can commit tasks
     # out of claim order.
     outcomes = [outcome for _, outcome in sorted(committed, key=lambda item: item[0])]

@@ -23,6 +23,12 @@ hammer achieved).  Enable it with :func:`enable_events` or
 ``REPRO_TELEMETRY_EVENTS=1``; export with :func:`dump_events`, render with
 ``repro report``, and visualize alongside the span tree via
 :mod:`repro.telemetry.trace` (Chrome trace / Perfetto).
+
+**Live observability** (:mod:`repro.telemetry.live`,
+:mod:`repro.telemetry.timeline`) is a third, sidecar surface: per-worker
+status beacons, a time-series counter ring and an OpenMetrics textfile,
+aggregated by ``repro watch`` -- wall-clock-stamped on purpose and written
+next to (never inside) journals, so the determinism contract is untouched.
 """
 
 from __future__ import annotations
@@ -43,8 +49,10 @@ from repro.telemetry.export import (
     build_report,
     read_json,
     read_jsonl,
+    render_openmetrics,
     write_json,
     write_jsonl,
+    write_openmetrics,
 )
 from repro.telemetry.registry import (
     Counter,
@@ -88,10 +96,12 @@ __all__ = [
     "read_events_jsonl",
     "read_json",
     "read_jsonl",
+    "render_openmetrics",
     "reset",
     "span",
     "write_json",
     "write_jsonl",
+    "write_openmetrics",
 ]
 
 

@@ -1,6 +1,6 @@
-"""Exporters: the ``BENCH_pipeline.json`` report shape and JSONL streams.
+"""Exporters: the ``BENCH_pipeline.json`` report shape, JSONL, OpenMetrics.
 
-Two formats serve two consumers:
+Three formats serve three consumers:
 
 - :func:`build_report` / :func:`write_json` -- one aggregated JSON document
   (stage durations + metric snapshot) that the CI benchmark-regression gate
@@ -8,11 +8,16 @@ Two formats serve two consumers:
 - :func:`write_jsonl` / :func:`read_jsonl` -- one JSON object per line, full
   fidelity (every span record, every histogram observation), for ad-hoc
   analysis and lossless round-trips.
+- :func:`render_openmetrics` / :func:`write_openmetrics` -- the OpenMetrics
+  / Prometheus text exposition format, for scrape-based collection (e.g.
+  the node_exporter textfile collector watching a live sweep's counters).
 """
 
 from __future__ import annotations
 
 import json
+import os
+import re
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -59,6 +64,72 @@ def read_json(path: PathLike) -> Dict[str, object]:
             f"{path}: expected schema {SCHEMA!r}, got {report.get('schema')!r}"
         )
     return report
+
+
+# ---------------------------------------------------------------------------
+# OpenMetrics / Prometheus text exposition
+# ---------------------------------------------------------------------------
+_METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(prefix: str, name: str) -> str:
+    """``repro`` + dotted metric name -> a legal Prometheus metric name."""
+    cleaned = _METRIC_NAME_RE.sub("_", name)
+    return f"{prefix}_{cleaned}" if prefix else cleaned
+
+
+def render_openmetrics(report: Dict[str, object], prefix: str = "repro") -> str:
+    """The OpenMetrics text exposition of a report or metrics snapshot.
+
+    Accepts either the :func:`build_report` document or a bare registry
+    snapshot -- anything with ``counters``/``gauges``/``histograms`` dicts.
+    Counters become ``<name>_total`` counter families, gauges become
+    gauges, histogram summaries become OpenMetrics ``summary`` families
+    (count, sum and the snapshot's p50/p95 quantiles).  The output ends
+    with the mandatory ``# EOF`` terminator.
+    """
+    lines: List[str] = []
+    counters = dict(report.get("counters") or {})
+    for name in sorted(counters):
+        metric = _metric_name(prefix, name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {counters[name]:g}")
+    gauges = dict(report.get("gauges") or {})
+    for name in sorted(gauges):
+        value = gauges[name]
+        if value is None:
+            continue
+        metric = _metric_name(prefix, name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value:g}")
+    histograms = dict(report.get("histograms") or {})
+    for name in sorted(histograms):
+        summary = dict(histograms[name] or {})
+        metric = _metric_name(prefix, name)
+        lines.append(f"# TYPE {metric} summary")
+        for quantile, key in (("0.5", "p50"), ("0.95", "p95")):
+            if summary.get(key) is not None:
+                lines.append(f'{metric}{{quantile="{quantile}"}} {summary[key]:g}')
+        lines.append(f"{metric}_count {summary.get('count', 0):g}")
+        lines.append(f"{metric}_sum {summary.get('sum', 0.0):g}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(
+    report: Dict[str, object], path: PathLike, prefix: str = "repro"
+) -> int:
+    """Atomically write the OpenMetrics textfile; returns lines written.
+
+    Atomic (temp file + ``os.replace``) because the intended reader is a
+    textfile-collector scraping while a live run rewrites the file.
+    """
+    text = render_openmetrics(report, prefix=prefix)
+    target = Path(path)
+    tmp = target.with_name(target.name + f".{os.getpid()}.tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(str(tmp), str(target))
+    return text.count("\n")
 
 
 # ---------------------------------------------------------------------------

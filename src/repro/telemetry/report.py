@@ -12,6 +12,14 @@ Two input shapes are understood, auto-detected from the first line:
   (``--shard i/n``) and ``repro merge`` outputs are auto-detected from the
   header's shard metadata and rendered with their shard identity.
 
+A **queue directory** (as passed to ``sweep --queue``) is accepted too:
+the report then covers the whole fleet -- per-worker commit counts from
+``journals/*.jsonl`` plus a scheduler-decision summary (claims, steals,
+commits, superseded per worker) from the ``events/*.events.jsonl``
+decision logs that ``sweep --queue --events`` drops into the directory.
+A flight record that itself carries ``sched.*`` events gets the same
+decision summary as an extra section.
+
 Rendering is a pure function of the input file -- no clocks, no host
 information -- so repeated invocations are byte-identical, and a fixed-seed
 re-run that regenerates the inputs regenerates the same report.
@@ -164,6 +172,8 @@ def analyze_flight(events: Sequence[Event]) -> Dict[str, object]:
         str(e.data.get("phase")): e.data for e in _all(events, "pipeline.evaluate")
     }
 
+    sched = analyze_sched(events)
+
     return {
         "run": {
             "method": (offline or start or Event(0, "")).data.get("method"),
@@ -184,8 +194,50 @@ def analyze_flight(events: Sequence[Event]) -> Dict[str, object]:
             "profiling_attempts": profiling_attempts,
         },
         "failures": failures,
+        "sched": sched,
         "event_kinds": _kind_counts(events),
     }
+
+
+_SCHED_DECISIONS = ("claim", "steal", "commit", "superseded", "lease_expired")
+
+
+def analyze_sched(events: Sequence[Event]) -> Dict[str, Dict[str, int]]:
+    """Per-worker scheduler-decision counts from ``sched.*`` events.
+
+    Returns ``{worker: {claims, steals, commits, superseded,
+    lease_expired}}`` (sorted, zero-filled), empty when the stream holds
+    no scheduler decisions at all.
+    """
+    per_worker: Dict[str, Dict[str, int]] = {}
+    for event in events:
+        if not event.kind.startswith("sched."):
+            continue
+        decision = event.kind[len("sched."):]
+        if decision not in _SCHED_DECISIONS:
+            continue
+        worker = str(event.data.get("worker", "?"))
+        counts = per_worker.setdefault(
+            worker, {name: 0 for name in _SCHED_DECISIONS}
+        )
+        counts[decision] += 1
+    return {worker: per_worker[worker] for worker in sorted(per_worker)}
+
+
+def render_sched_section(sched: Dict[str, Dict[str, int]]) -> List[str]:
+    """The "Scheduler decisions" markdown section (empty list when none)."""
+    if not sched:
+        return []
+    lines = ["", "## Scheduler decisions", ""]
+    rows = [
+        [worker] + [_fmt(counts.get(name, 0)) for name in _SCHED_DECISIONS]
+        for worker, counts in sched.items()
+    ]
+    lines += _table(
+        ["worker", "claims", "steals", "commits", "superseded", "lease expiries"],
+        rows,
+    )
+    return lines
 
 
 def _kind_counts(events: Sequence[Event]) -> Dict[str, int]:
@@ -308,6 +360,8 @@ def render_flight_markdown(analysis: Dict[str, object]) -> str:
     else:
         lines.append("No planned flip failed.")
 
+    lines += render_sched_section(analysis.get("sched") or {})
+
     lines += ["", "## Event stream", ""]
     for kind, count in analysis["event_kinds"].items():
         lines.append(f"- {kind}: {count}")
@@ -400,12 +454,94 @@ def render_journal_markdown(analysis: Dict[str, object]) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Queue-directory (fleet) analysis
+# ---------------------------------------------------------------------------
+def analyze_queue_dir(path: PathLike) -> Dict[str, object]:
+    """Fleet-level analysis of a queue directory: journals + decision logs."""
+    from repro.parallel.journal import SweepJournal
+
+    root = Path(path)
+    journal_paths = sorted((root / "journals").glob("*.jsonl"))
+    if not journal_paths:
+        raise TelemetryError(
+            f"{root}: not a queue directory report target (no journals/*.jsonl)"
+        )
+    grid_sha: Optional[str] = None
+    total_tasks: Optional[int] = None
+    workers: Dict[str, Dict[str, int]] = {}
+    for journal_path in journal_paths:
+        state = SweepJournal.load(journal_path)
+        header = state.header or {}
+        grid_sha = grid_sha or header.get("grid_sha")
+        total_tasks = total_tasks or header.get("total_tasks")
+        worker = str(header.get("worker") or journal_path.name.split(".")[0])
+        counts = workers.setdefault(
+            worker, {"ok": 0, "failed": 0, "superseded": 0, "other": 0}
+        )
+        for record in state.records.values():
+            status = str(record.get("status"))
+            counts[status if status in counts else "other"] += 1
+    decisions: Dict[str, Dict[str, int]] = {}
+    events_dir = root / "events"
+    decision_logs = sorted(events_dir.glob("*.jsonl")) if events_dir.is_dir() else []
+    for log_path in decision_logs:
+        for worker, counts in analyze_sched(read_events_jsonl(log_path)).items():
+            merged = decisions.setdefault(
+                worker, {name: 0 for name in _SCHED_DECISIONS}
+            )
+            for name, value in counts.items():
+                merged[name] += value
+    return {
+        "queue": str(root),
+        "grid_sha": grid_sha,
+        "total_tasks": total_tasks,
+        "workers": {worker: workers[worker] for worker in sorted(workers)},
+        "decision_logs": [p.name for p in decision_logs],
+        "sched": {worker: decisions[worker] for worker in sorted(decisions)},
+    }
+
+
+def render_queue_markdown(analysis: Dict[str, object]) -> str:
+    lines: List[str] = ["# Queue fleet report", ""]
+    lines.append(f"- queue: `{analysis['queue']}`")
+    lines.append(f"- grid sha: `{_fmt(analysis.get('grid_sha'))}`")
+    lines.append(f"- total tasks: {_fmt(analysis.get('total_tasks'))}")
+    lines.append(f"- workers: {len(analysis['workers'])}")
+
+    lines += ["", "## Per-worker results", ""]
+    rows = [
+        [worker, _fmt(counts["ok"]), _fmt(counts["failed"]),
+         _fmt(counts["superseded"]), _fmt(counts["other"])]
+        for worker, counts in analysis["workers"].items()
+    ]
+    lines += _table(["worker", "ok", "failed", "superseded", "other"], rows)
+
+    sched = analysis.get("sched") or {}
+    if sched:
+        lines += render_sched_section(sched)
+    else:
+        lines += [
+            "", "## Scheduler decisions", "",
+            "(no decision logs found -- run the workers with "
+            "`sweep --queue ... --events` to record them)",
+        ]
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 def render_report(path: PathLike, fmt: str = "markdown") -> str:
-    """Render the forensics report for a flight record or sweep journal."""
+    """Render the forensics report for a flight record, journal or queue dir."""
     if fmt not in REPORT_FORMATS:
         raise TelemetryError(f"format must be one of {REPORT_FORMATS}, got {fmt!r}")
+    if Path(path).is_dir():
+        analysis = analyze_queue_dir(path)
+        if fmt == "json":
+            return json.dumps(
+                {"source": "queue", "report": analysis}, indent=2, sort_keys=True
+            ) + "\n"
+        return render_queue_markdown(analysis)
     kind = detect_input_kind(path)
     if kind == "flight":
         analysis = analyze_flight(read_events_jsonl(path))

@@ -1,0 +1,196 @@
+"""Time-series sampler: periodic counter snapshots to a ``timeline.jsonl`` ring.
+
+Beacons (:mod:`repro.telemetry.live`) answer "what is the fleet doing right
+now"; the timeline answers "how did we get here" -- one JSON line per
+sampling interval holding the selected counter families (``sched.*``,
+``engine.*``, pipeline counters) as absolute values plus per-interval
+deltas.  The file is a bounded ring: when it exceeds ``max_samples`` it is
+compacted in place to the most recent samples, so a days-long campaign
+cannot fill a disk with telemetry.
+
+Like beacons, the timeline is a live-side artifact only: it is written
+next to (never inside) journals, carries wall-clock timestamps on purpose,
+and is excluded from the determinism contract.  Optionally each tick also
+rewrites an OpenMetrics textfile (:func:`repro.telemetry.export.
+write_openmetrics`) for scrape-based collection (Prometheus node_exporter
+textfile collector).
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.telemetry.live import (
+    LIVE_COUNTER_PREFIXES,
+    register_live,
+    unregister_live,
+)
+
+PathLike = Union[str, Path]
+
+TIMELINE_SCHEMA = "repro-timeline/1"
+DEFAULT_TIMELINE_INTERVAL = 1.0
+DEFAULT_MAX_SAMPLES = 4096
+
+
+def _default_counters() -> Dict[str, float]:
+    from repro import telemetry  # lazy: repro.telemetry imports live/timeline
+
+    if not telemetry.enabled():
+        return {}
+    counters = telemetry.get_registry().snapshot()["counters"]
+    return {
+        name: value
+        for name, value in counters.items()
+        if name.startswith(LIVE_COUNTER_PREFIXES)
+    }
+
+
+class TimelineSampler:
+    """Appends one counter snapshot per interval to a bounded JSONL ring.
+
+    ``extra_fn`` (when given) contributes additional JSON-able fields to
+    every sample (e.g. the worker's ``tasks_done``).  With
+    ``openmetrics_path`` set, each tick also rewrites that textfile from
+    the same counters, so a Prometheus textfile collector can scrape the
+    live run.  All write failures are swallowed -- sampling is advisory.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        interval: float = DEFAULT_TIMELINE_INTERVAL,
+        counters_fn: Optional[Callable[[], Dict[str, float]]] = None,
+        extra_fn: Optional[Callable[[], Dict[str, object]]] = None,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+        openmetrics_path: Optional[PathLike] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.path = Path(path)
+        self.interval = max(float(interval), 0.05)
+        self.max_samples = max(int(max_samples), 1)
+        self.openmetrics_path = Path(openmetrics_path) if openmetrics_path else None
+        self._clock = clock
+        self._counters_fn = counters_fn if counters_fn is not None else _default_counters
+        self._extra_fn = extra_fn
+        self._started = clock()
+        self._last_counters: Dict[str, float] = {}
+        self._ring: collections.deque = collections.deque(maxlen=self.max_samples)
+        self._written = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._discarded = False
+        self._thread = threading.Thread(
+            target=self._run, name=f"timeline-{self.path.stem}", daemon=True
+        )
+
+    def start(self) -> "TimelineSampler":
+        register_live(self)
+        self.sample()
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample()
+
+    def stop(self) -> None:
+        """Stop the thread after one final sample."""
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=2.0)
+        self.sample()
+        unregister_live(self)
+
+    def discard(self) -> None:
+        """Abandon without writing (see :func:`repro.telemetry.live.reset_live`)."""
+        with self._lock:
+            self._discarded = True
+        self._stop.set()
+
+    def sample(self) -> Optional[Dict[str, object]]:
+        """Take and persist one sample; returns it (``None`` once discarded)."""
+        with self._lock:
+            if self._discarded:
+                return None
+            now = self._clock()
+            counters = dict(self._counters_fn() or {})
+            deltas = {
+                name: round(value - self._last_counters.get(name, 0.0), 6)
+                for name, value in counters.items()
+            }
+            self._last_counters = counters
+            entry: Dict[str, object] = {
+                "kind": "sample",
+                "t": now,
+                "elapsed_seconds": round(now - self._started, 3),
+                "counters": counters,
+                "deltas": deltas,
+            }
+            if self._extra_fn is not None:
+                try:
+                    entry.update(self._extra_fn() or {})
+                except Exception:
+                    pass
+            self._ring.append(entry)
+            self._written += 1
+            self._persist(entry)
+        if self.openmetrics_path is not None:
+            self._export_openmetrics(counters)
+        return entry
+
+    def _persist(self, entry: Dict[str, object]) -> None:
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            if self._written > self.max_samples or not self.path.exists():
+                self._compact()
+            else:
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        except OSError:
+            pass
+
+    def _compact(self) -> None:
+        """Rewrite the file as schema line + the ring's samples (atomic)."""
+        lines = [json.dumps({"kind": "schema", "value": TIMELINE_SCHEMA})]
+        lines.extend(json.dumps(entry, sort_keys=True) for entry in self._ring)
+        tmp = self.path.with_name(self.path.name + f".{os.getpid()}.tmp")
+        tmp.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        os.replace(str(tmp), str(self.path))
+        self._written = len(self._ring)
+
+    def _export_openmetrics(self, counters: Dict[str, float]) -> None:
+        from repro.telemetry.export import write_openmetrics
+
+        try:
+            write_openmetrics(
+                {"counters": counters, "gauges": {}, "histograms": {}},
+                self.openmetrics_path,
+            )
+        except OSError:
+            pass
+
+
+def read_timeline(path: PathLike) -> List[Dict[str, object]]:
+    """The sample entries of a timeline file (schema/torn lines skipped)."""
+    samples: List[Dict[str, object]] = []
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return samples
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue
+        if entry.get("kind") == "sample":
+            samples.append(entry)
+    return samples

@@ -148,6 +148,37 @@ def write_trace(
     return len(trace["traceEvents"])
 
 
+def stitch_traces(
+    named_traces: List[Tuple[str, Dict[str, object]]],
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Merge per-worker traces into one fleet trace, one process per worker.
+
+    Each ``(name, trace)`` pair gets its own pid (1-based, in input order)
+    with ``name`` as its process label, so Perfetto renders the fleet as
+    parallel worker lanes.  Per-trace ``process_name`` metadata is replaced
+    by the lane label; every other event is kept with its pid rewritten.
+    Timelines stay synthetic (see module docstring): lanes align at 0, not
+    at wall-clock claim times.
+    """
+    events: List[Dict[str, object]] = []
+    for pid, (name, trace) in enumerate(named_traces, start=1):
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "args": {"name": name}}
+        )
+        for event in trace.get("traceEvents", []):
+            if event.get("ph") == "M" and event.get("name") == "process_name":
+                continue
+            clone = dict(event)
+            clone["pid"] = pid
+            events.append(clone)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(meta or {}),
+    }
+
+
 def validate_trace(trace: Dict[str, object]) -> None:
     """Assert the minimal Chrome trace-event invariants (tests/CI smoke).
 

@@ -294,6 +294,40 @@ def test_fault_delay_env_slows_but_never_changes_bytes(tmp_path, monkeypatch):
     _assert_identical(tmp_path, result, reference)
 
 
+def test_sched_counters_are_exact_and_stay_out_of_merged_metrics(
+    tmp_path, monkeypatch
+):
+    """With telemetry on, a fault-injected two-worker drain (plus one dead
+    claimer) records exact ``sched.*`` counters in the process registry --
+    and none of them leak into the merged (deterministic) metrics."""
+    grid = _grid()  # 6 tasks
+    reference = _reference(tmp_path, grid)
+    telemetry.enable()
+    telemetry.get_registry().reset()
+    manifest = init_queue(tmp_path / "q", grid, lease_ttl=0.05)
+    claim_next(manifest, "dead")  # 1 claim, then "crashes" without releasing
+    time.sleep(0.1)
+    monkeypatch.setenv(scheduler.FAULT_DELAY_ENV, "0.01")
+    slow = run_queue(tmp_path / "q", worker_id="slow", task_runner=_rich_runner,
+                     max_tasks=2, wait_for_completion=False)
+    monkeypatch.delenv(scheduler.FAULT_DELAY_ENV)
+    fast = run_queue(tmp_path / "q", worker_id="fast", task_runner=_rich_runner)
+
+    counters = telemetry.get_registry().snapshot()["counters"]
+    # dead's 1 claim + slow's 2 + fast's 4 = 7; exactly one of them stole
+    # the dead worker's expired lease.
+    assert counters["sched.claims"] == 7.0
+    assert counters["sched.steals"] == 1.0
+    assert counters["sched.lease_expired"] == 1.0
+    assert "sched.superseded" not in counters  # no commit race happened
+    assert slow.steals + fast.steals == 1
+
+    result = merge_journals([slow.journal_path, fast.journal_path])
+    _assert_identical(tmp_path, result, reference)
+    merged = merged_metrics(result)
+    assert not [k for k in merged["counters"] if k.startswith("sched.")]
+
+
 # ---------------------------------------------------------------------------
 # queue-status and worker-side validation.
 def test_queue_status_counts(tmp_path):

@@ -247,6 +247,28 @@ class TestRegressionGate:
         del cand["spans"]["bench"]
         assert any(d.failed and d.kind == "span" for d in compare_reports(base, cand))
 
+    def test_histogram_and_event_drift_is_informational_only(self):
+        """Histogram/event drift surfaces as ``gated=False`` lines that can
+        never fail the build, and format_comparison labels them as info."""
+        from repro.telemetry.regression import format_comparison
+
+        base, cand = self._report(), self._report()
+        base["histograms"] = {"train.loss": {"count": 4, "sum": 2.0}}
+        cand["histograms"] = {"train.loss": {"count": 8, "sum": 4.0}}
+        base["events"] = {"task.done": 6}
+        cand["events"] = {"task.done": 3}
+        deviations = compare_reports(base, cand)
+        drift = [d for d in deviations if not d.gated]
+        assert {(d.kind, d.name) for d in drift} == {
+            ("histogram", "train.loss.count"),
+            ("histogram", "train.loss.sum"),
+            ("event", "task.done"),
+        }
+        assert not any(d.failed for d in drift)
+        text = format_comparison(deviations)
+        assert "0 failed" in text and "3 informational drift line(s)" in text
+        assert text.count("[info]") == 3
+
 
 class TestBenchTrend:
     def _report(self, seconds=1.0, speedup=None):
