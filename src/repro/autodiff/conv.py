@@ -54,18 +54,16 @@ def _col2im(
     out_h: int,
     out_w: int,
 ) -> np.ndarray:
-    """Scatter-add patches back: inverse of :func:`_im2col` for gradients."""
-    n, c, h, w = x_shape
-    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
-    cols = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
-    for i in range(kh):
-        i_end = i + stride * out_h
-        for j in range(kw):
-            j_end = j + stride * out_w
-            padded[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, :, :, i, j]
-    if padding:
-        return padded[:, :, padding:-padding, padding:-padding]
-    return padded
+    """Scatter-add patches back: inverse of :func:`_im2col` for gradients.
+
+    Delegates to the active backend (the pooling backwards route through
+    here too, so every col2im in the model picks up backend acceleration).
+    """
+    from repro.backend import current_backend
+
+    return current_backend().im2col_backward(
+        cols, x_shape, kh, kw, stride, padding, out_h, out_w
+    )
 
 
 class Conv2dFunction(Function):
@@ -96,16 +94,18 @@ class Conv2dFunction(Function):
         return out
 
     def backward(self, grad: np.ndarray) -> Sequence[Optional[np.ndarray]]:
+        from repro.backend import current_backend
+
         cols, x_shape, weight, has_bias, stride, padding, out_h, out_w = self.saved
         n = x_shape[0]
         out_c, in_c, kh, kw = weight.shape
         grad_mat = grad.reshape(n, out_c, out_h * out_w).transpose(0, 2, 1)  # (N, L, out_c)
         w_mat = weight.reshape(out_c, -1)
 
-        grad_cols = grad_mat @ w_mat  # (N, L, C*kh*kw)
+        grad_cols, grad_w = current_backend().conv_grads(
+            grad_mat, cols, w_mat, weight.shape
+        )
         grad_x = _col2im(grad_cols, x_shape, kh, kw, stride, padding, out_h, out_w)
-
-        grad_w = np.einsum("nlo,nlk->ok", grad_mat, cols).reshape(weight.shape)
         if has_bias:
             return grad_x, grad_w, grad_mat.sum(axis=(0, 1))
         return grad_x, grad_w

@@ -29,15 +29,15 @@ class BatchNorm2dFunction(Function):
     ) -> np.ndarray:
         if x.ndim != 4:
             raise ShapeError(f"BatchNorm2d expects NCHW input, got shape {x.shape}")
+        from repro.backend import current_backend
+
+        backend = current_backend()
         if training:
-            mean = x.mean(axis=(0, 2, 3))
-            var = x.var(axis=(0, 2, 3))
+            mean, var = backend.batchnorm_stats(x)
         else:
             mean = running_mean
             var = running_var
-        inv_std = 1.0 / np.sqrt(var + eps)
-        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
-        out = gamma[None, :, None, None] * x_hat + beta[None, :, None, None]
+        out, x_hat, inv_std = backend.batchnorm_apply(x, gamma, beta, mean, var, eps)
         self.save_for_backward(x_hat, inv_std, gamma, training)
         self.batch_mean = mean
         self.batch_var = var

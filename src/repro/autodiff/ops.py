@@ -158,6 +158,47 @@ class MatMul(Function):
         return _unbroadcast(grad_a, a.shape), _unbroadcast(grad_b, b.shape)
 
 
+class LinearFunction(Function):
+    """Fused dense layer ``x @ w.T (+ b)`` delegating to the active backend.
+
+    Replaces the ``Transpose`` + ``MatMul`` + ``Add`` tape triple that
+    ``nn.Linear`` historically built with a single node.  The reference
+    backend replays the exact numeric sequence of that triple (including
+    the ``_unbroadcast`` reductions), so forward outputs and all three
+    gradients are byte-identical to the unfused path; fusing only removes
+    tape bookkeeping and lets backends see the whole dense op at once.
+
+    ``w_t`` arrives as a keyword (non-differentiable) argument: the layer
+    passes its cached transposed *view* so repeated calls do not re-derive
+    it, and backends see the same operand layout as ``x @ w.transpose()``.
+    """
+
+    def forward(
+        self,
+        x: np.ndarray,
+        w: np.ndarray,
+        b: Optional[np.ndarray],
+        w_t: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        from repro.backend import current_backend
+
+        if w_t is None:
+            w_t = np.transpose(w)
+        self.save_for_backward(x, w_t, None if b is None else b.shape)
+        return current_backend().linear(x, w_t, b)
+
+    def backward(self, grad: np.ndarray) -> Sequence[Optional[np.ndarray]]:
+        from repro.backend import current_backend
+
+        x, w_t, bias_shape = self.saved
+        grad_x, grad_w, grad_b = current_backend().linear_grads(
+            grad, x, w_t, bias_shape
+        )
+        if bias_shape is None:
+            return grad_x, grad_w
+        return grad_x, grad_w, grad_b
+
+
 class Sum(Function):
     def forward(self, a: np.ndarray, axis: Axis, keepdims: bool) -> np.ndarray:
         self.save_for_backward(a.shape, axis, keepdims)

@@ -1,18 +1,26 @@
 """Pluggable compute backends for the autodiff/engine hot kernels.
 
-``repro.autodiff`` delegates its dense inner kernels (currently the im2col
-contraction behind every convolution) to the process-wide active backend:
+``repro.autodiff`` delegates its dense inner kernels -- the im2col
+contraction (and backward scatter + gradient GEMMs) behind every
+convolution, the ``Linear`` forward/backward matmuls, and batch-norm
+statistics/normalization -- to the process-wide active backend:
 
 - ``numpy`` (default): the exact op sequence the repo has always run --
   byte-identical to every golden snapshot and engine digest;
-- ``fast``: fused contiguous im2col batching plus float32-everywhere
-  inference -- faster, but only tolerance-equal, so it is opt-in and
+- ``threads`` / ``threads:N``: the reference kernels cut into disjoint
+  leading-axis panels executed on a thread pool -- byte-identical at any
+  thread count (it runs under the golden suite), faster wherever more
+  than one core is available;
+- ``fast``: fused contiguous float32 GEMMs across inference *and* the CFT
+  training path -- faster, but only tolerance-equal, so it is opt-in and
   excluded from byte-identity tests.
 
 Selection: the ``REPRO_BACKEND`` environment variable at first use (sweep
 worker processes inherit it), or :func:`set_backend` programmatically.  The
 CLI's ``--backend`` flag exports the environment variable so child
-processes agree with the parent.
+processes agree with the parent.  A ``:<param>`` suffix parameterizes the
+family (``threads:4``); the bare family name uses its default (``threads``
+sizes the pool to the CPU count).
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from typing import Dict, List, Optional, Type
 from repro.backend.base import Backend
 from repro.backend.fast import FastBackend
 from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.threads import ThreadsBackend
 from repro.errors import BackendError
 
 __all__ = [
@@ -30,6 +39,7 @@ __all__ = [
     "BackendError",
     "FastBackend",
     "NumpyBackend",
+    "ThreadsBackend",
     "available_backends",
     "backend_name",
     "current_backend",
@@ -40,26 +50,34 @@ __all__ = [
 _REGISTRY: Dict[str, Type[Backend]] = {
     NumpyBackend.name: NumpyBackend,
     FastBackend.name: FastBackend,
+    ThreadsBackend.name: ThreadsBackend,
 }
 
 _active: Optional[Backend] = None
 
 
 def available_backends() -> List[str]:
-    """Names accepted by :func:`set_backend` and ``REPRO_BACKEND``."""
+    """Family names accepted by :func:`set_backend` and ``REPRO_BACKEND``.
+
+    Parameterized families additionally accept a ``:<param>`` suffix
+    (``threads:4``).
+    """
     return sorted(_REGISTRY)
 
 
 def set_backend(name: str) -> Backend:
-    """Activate a backend by name for the whole process."""
+    """Activate a backend by name (or ``family:param`` spec) process-wide."""
     global _active
-    try:
-        backend_cls = _REGISTRY[name]
-    except KeyError:
+    family, _, _ = name.partition(":")
+    backend_cls = _REGISTRY.get(family)
+    if backend_cls is None:
         raise BackendError(
             f"unknown backend {name!r}; available: {', '.join(available_backends())}"
-        ) from None
-    _active = backend_cls()
+        )
+    backend = backend_cls.from_spec(name)
+    if _active is not None:
+        _active.close()
+    _active = backend
     return _active
 
 
@@ -76,6 +94,13 @@ def backend_name() -> str:
 
 
 def reset_backend() -> None:
-    """Drop the active backend so the next use re-reads ``REPRO_BACKEND``."""
+    """Drop the active backend so the next use re-reads ``REPRO_BACKEND``.
+
+    Also releases backend-owned resources (the ``threads`` pool); sweep
+    workers call this after fork, where inherited pool threads no longer
+    exist.
+    """
     global _active
+    if _active is not None:
+        _active.close()
     _active = None

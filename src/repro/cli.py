@@ -141,6 +141,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         n_flip_budget=args.flips,
         include_sweep=not args.skip_sweep,
         include_engine=not args.skip_engine,
+        include_kernels=not args.skip_kernels,
         events=args.events,
         trace=args.trace,
         manifest=not args.no_manifest,
@@ -606,9 +607,10 @@ def build_parser() -> argparse.ArgumentParser:
              "purely a performance switch)",
     )
     parser.add_argument(
-        "--backend", choices=["numpy", "fast"], default=None,
-        help="compute backend (default: REPRO_BACKEND or numpy); 'fast' "
-             "trades byte-level determinism for fused float32 conv GEMMs",
+        "--backend", default=None, metavar="NAME[:PARAM]",
+        help="compute backend (default: REPRO_BACKEND or numpy); 'threads' "
+             "or 'threads:N' runs panel-parallel byte-identical kernels, "
+             "'fast' trades byte-level determinism for fused float32 GEMMs",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -646,6 +648,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the 1-vs-2-worker sweep timing section")
     bench.add_argument("--skip-engine", action="store_true",
                        help="skip the cached-vs-uncached engine timing section")
+    bench.add_argument("--skip-kernels", action="store_true",
+                       help="skip the per-kernel backend-profile timing section")
     bench.add_argument("--events", help="record the run's flight-recorder event "
                        "stream (JSONL) to this path")
     bench.add_argument("--trace", help="export spans + events as a Chrome-trace/"
@@ -844,10 +848,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         disable_batch()
     if args.backend is not None:
-        os.environ["REPRO_BACKEND"] = args.backend
-        from repro.backend import set_backend
+        from repro.backend import BackendError, set_backend
 
-        set_backend(args.backend)
+        try:
+            set_backend(args.backend)
+        except BackendError as exc:
+            print(f"--backend: {exc}", file=sys.stderr)
+            return 2
+        # Mirrored into the environment so spawn-mode sweep workers (which
+        # re-read REPRO_BACKEND) agree with the parent process.
+        os.environ["REPRO_BACKEND"] = args.backend
     handlers = {
         "devices": _cmd_devices,
         "probability": _cmd_probability,

@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.autodiff.conv import avg_pool2d, conv2d, global_avg_pool2d, max_pool2d
 from repro.autodiff.norm import batch_norm2d
+from repro.autodiff.ops import LinearFunction
 from repro.autodiff.tensor import Tensor
 from repro.nn.init import kaiming_normal, uniform_bias
 from repro.nn.module import Module, Parameter
@@ -32,12 +33,27 @@ class Linear(Module):
         self.bias: Optional[Parameter] = (
             Parameter(uniform_bias((out_features,), in_features, rng)) if bias else None
         )
+        self._wt_cache: Optional[tuple] = None  # (weight.version, transposed view)
+
+    def weight_t(self) -> np.ndarray:
+        """Transposed weight view, cached until the parameter is rebound.
+
+        A *view* (not a contiguous copy) so the forward GEMM sees the same
+        operand layout -- and therefore the same BLAS kernel selection and
+        bytes -- as the historical ``x @ weight.transpose()`` tape path.
+        Keyed on :attr:`Parameter.version`: any rebind (optimizer step, bit
+        flip commit, restore) invalidates the cache, exactly like the
+        engine's activation cache.
+        """
+        version = self.weight.version
+        cache = self._wt_cache
+        if cache is None or cache[0] != version:
+            cache = (version, np.transpose(self.weight.data))
+            self._wt_cache = cache
+        return cache[1]
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight.transpose()
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        return LinearFunction.apply(x, self.weight, self.bias, w_t=self.weight_t())
 
 
 class Conv2d(Module):

@@ -11,8 +11,9 @@ across ``ProcessPoolExecutor`` workers.  Three guarantees:
   as successful, re-running only the remainder.
 - **Degradation**: a task that raises is retried with exponential backoff
   up to ``max_attempts``; a worker that dies outright (``BrokenProcessPool``)
-  costs that task one attempt, the pool is rebuilt, and in-flight tasks are
-  resubmitted -- the sweep finishes with a structured failure record
+  breaks the whole pool, so in-flight siblings are resubmitted uncharged and
+  the rebuilt pool finishes serially -- only the provably-crashing task is
+  charged attempts, and the sweep finishes with a structured failure record
   instead of crashing.
 
 Multi-host scale-out layers on top of the same guarantees, in two modes.
@@ -412,6 +413,12 @@ def _run_pool(
     queue: Deque[Tuple[int, int]] = deque((index, 1) for index in pending)
     active: Dict[Future, Tuple[int, int]] = {}
     executor: Optional[ProcessPoolExecutor] = None
+    # After a pool break the executor fails every in-flight future with
+    # BrokenProcessPool, so the actual crasher is indistinguishable from
+    # innocent victims.  Recovery therefore runs one task at a time: the
+    # sole in-flight task of a broken serial pool is provably the crasher
+    # and is the only one charged an attempt.
+    serial_recovery = False
 
     def handle(index: int, attempt: int, outcome: Dict[str, object]) -> None:
         if outcome.get("status") == "ok" or attempt >= max_attempts:
@@ -432,7 +439,7 @@ def _run_pool(
                     mp_context=context,
                     initializer=worker.initialize_worker,
                 )
-            while queue:
+            while queue and not (serial_recovery and active):
                 index, attempt = queue.popleft()
                 active[executor.submit(task_runner, payloads[index])] = (index, attempt)
             done, _ = wait(set(active), return_when=FIRST_COMPLETED)
@@ -442,17 +449,26 @@ def _run_pool(
                 try:
                     outcome = future.result()
                 except (BrokenProcessPool, OSError) as exc:
-                    # The worker died without answering (os._exit, segfault,
-                    # OOM kill).  Costs this task one attempt; the pool is
-                    # rebuilt below and everything in flight is resubmitted.
+                    # A worker died without answering (os._exit, segfault,
+                    # OOM kill).  In serial recovery the dead task was alone
+                    # in flight, so the crash is its own and costs it an
+                    # attempt; in parallel mode it may be a collateral victim
+                    # of a sibling's crash, so it is requeued uncharged and
+                    # retried serially.
                     pool_broken = True
-                    outcome = _attempt_failure(exc)
+                    if serial_recovery:
+                        handle(index, attempt, _attempt_failure(exc))
+                    else:
+                        queue.append((index, attempt))
+                    continue
                 except Exception as exc:
                     outcome = _attempt_failure(exc)
                 handle(index, attempt, outcome)
             if pool_broken:
+                serial_recovery = True
                 log.warning(
-                    "process pool broke; rebuilding and resubmitting %d in-flight task(s)",
+                    "process pool broke; resubmitting %d in-flight task(s) and "
+                    "finishing in serial recovery for exact crash attribution",
                     len(active),
                 )
                 for index, attempt in active.values():

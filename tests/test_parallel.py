@@ -305,6 +305,22 @@ def test_run_sweep_survives_worker_crash():
     assert failure.error["type"] in ("BrokenProcessPool", "OSError")
 
 
+def test_pool_break_never_charges_innocent_siblings():
+    # When a crasher takes the pool down, every in-flight sibling fails
+    # with the same BrokenProcessPool -- the runner must requeue them
+    # uncharged (finishing in serial recovery) rather than burning their
+    # attempts on a crash that was not theirs.
+    methods = ("a", "b", "crash", "c", "d", "e", "f")
+    grid = _grid(methods=methods)
+    result = run_sweep(grid, workers=4, task_runner=_crashing_runner,
+                       max_attempts=2, backoff_seconds=0.0)
+    survivors = [m for m in methods if m != "crash"]
+    assert [row["method"] for row in result.rows] == survivors
+    (failure,) = result.failures
+    assert failure.task.method == "crash"
+    assert failure.attempts == 2
+
+
 # ---------------------------------------------------------------------------
 # Worker state hygiene.
 def test_reset_worker_state_clears_forked_globals():
